@@ -1,0 +1,135 @@
+(* The benchmark harness: regenerates every table and figure of the paper
+   and times the simulator's own components with Bechamel.
+
+     dune exec bench/main.exe              # everything: tables, figures,
+                                           # runtimes, ablations, sim-rate,
+                                           # then the Bechamel suites
+     dune exec bench/main.exe -- fig1      # one experiment
+     dune exec bench/main.exe -- bechamel  # only the Bechamel suites
+
+   Experiment ids: table1-5, fig1-7, runtimes, ablate-l1, ablate-clock,
+   ablate-bus, simrate. *)
+
+let run_experiment id =
+  match List.find_opt (fun (i, _, _) -> i = id) Simbridge.Experiments.all with
+  | Some (_, descr, render) ->
+    Printf.printf "=== %s: %s ===\n%!" id descr;
+    let t0 = Unix.gettimeofday () in
+    print_string (render ());
+    Printf.printf "(%s regenerated in %.1f s)\n\n%!" id (Unix.gettimeofday () -. t0)
+  | None ->
+    Printf.eprintf "unknown experiment %s\n" id;
+    exit 1
+
+(* ----------------------------------------------------------- bechamel *)
+
+let staged = Bechamel.Staged.stage
+
+(* One Test.make per table/figure, each timing a *representative slice*
+   of that experiment's machinery (one kernel or app comparison at small
+   scale) so Bechamel can iterate within its quota. *)
+let figure_tests =
+  let t name f = Bechamel.Test.make ~name (staged f) in
+  let module Cat = Platform.Catalog in
+  let krel name = 
+    ignore
+      (Simbridge.Runner.kernel_relative ~scale:0.05 ~sim:Cat.banana_pi_sim ~hw:Cat.banana_pi_hw
+         (Workloads.Microbench.find name))
+  in
+  let arel ?(scale = 0.15) app ~sim ~hw =
+    ignore (Simbridge.Runner.app_relative ~scale ~ranks:1 ~sim ~hw app)
+  in
+  [
+    t "table1" (fun () -> ignore (Simbridge.Experiments.table1 ()));
+    t "table2" (fun () -> ignore (Simbridge.Experiments.table2 ()));
+    t "table3" (fun () -> ignore (Simbridge.Experiments.table3 ()));
+    t "table4" (fun () -> ignore (Simbridge.Experiments.table4 ()));
+    t "table5" (fun () -> ignore (Simbridge.Experiments.table5 ()));
+    t "fig1-slice(Cca)" (fun () -> krel "Cca");
+    t "fig2-slice(EI)" (fun () ->
+        ignore
+          (Simbridge.Runner.kernel_relative ~scale:0.05 ~sim:Cat.milkv_sim ~hw:Cat.milkv_hw
+             (Workloads.Microbench.find "EI")));
+    t "fig3-slice(EP)" (fun () -> arel Workloads.Npb.ep ~sim:Cat.banana_pi_sim ~hw:Cat.banana_pi_hw);
+    t "fig4-slice(CG)" (fun () -> arel Workloads.Npb.cg ~sim:Cat.milkv_sim ~hw:Cat.milkv_hw);
+    t "fig5-slice(UME)" (fun () ->
+        arel ~scale:0.3 Workloads.Ume.app ~sim:Cat.banana_pi_sim ~hw:Cat.banana_pi_hw);
+    t "fig6-slice(LJ)" (fun () ->
+        arel ~scale:0.2 Workloads.Lammps.lj ~sim:Cat.milkv_sim ~hw:Cat.milkv_hw);
+    t "fig7-slice(Chain)" (fun () ->
+        arel ~scale:0.2 Workloads.Lammps.chain ~sim:Cat.banana_pi_sim ~hw:Cat.banana_pi_hw);
+  ]
+
+(* Component micro-benchmarks: the building blocks' own costs. *)
+let component_tests =
+  let t name f = Bechamel.Test.make ~name (staged f) in
+  let rng = Util.Rng.create 1 in
+  let predictor =
+    Branch.Predictor.create
+      (Branch.Predictor.Tage { base_entries = 512; tables = 4; table_entries = 256; max_history = 32 })
+  in
+  let cache = Cache.create (Cache.config ~name:"bench" ~sets:64 ~ways:8 ()) in
+  let next : Cache.next_level = fun ~cycle ~addr:_ ~write:_ -> cycle + 50 in
+  let dram = Dram.create (Dram.ddr3_2000_fr_fcfs ~channels:1) in
+  let bus = Interconnect.Bus.create (Interconnect.Bus.config ~name:"b" ~width_bits:128 ()) in
+  let counter = ref 0 in
+  let alu_insn = Isa.Insn.make ~dst:5 ~src1:5 ~pc:0 Isa.Insn.Int_alu in
+  let inorder = Uarch.Inorder.create (Uarch.Inorder.rocket ()) (Uarch.Memsys.ideal ~latency:2) in
+  let ooo = Uarch.Ooo.create (Uarch.Ooo.boom_large ()) (Uarch.Memsys.ideal ~latency:2) in
+  [
+    t "rng/bits64" (fun () -> ignore (Util.Rng.bits64 rng));
+    t "predictor/tage-update" (fun () ->
+        incr counter;
+        ignore (Branch.Predictor.predict predictor ~pc:0x400);
+        Branch.Predictor.update predictor ~pc:0x400 ~taken:(!counter land 3 <> 0));
+    t "cache/hit" (fun () ->
+        incr counter;
+        ignore (Cache.access cache ~next ~cycle:!counter ~addr:(!counter land 0x1FF8) ~write:false));
+    t "dram/request" (fun () ->
+        incr counter;
+        ignore (Dram.request dram ~time_ns:(float_of_int !counter) ~addr:(!counter * 64) ~write:false));
+    t "bus/transfer" (fun () ->
+        incr counter;
+        ignore (Interconnect.Bus.transfer bus ~cycle:!counter ~bytes:64));
+    t "uarch/inorder-feed" (fun () -> Uarch.Inorder.feed inorder alu_insn);
+    t "uarch/ooo-feed" (fun () -> Uarch.Ooo.feed ooo alu_insn);
+    t "workload/kernel-stream-100" (fun () ->
+        ignore
+          (Prog.Gen.length
+             (Prog.Gen.take 100
+                ((Workloads.Microbench.find "Cca").Workloads.Workload.stream ~scale:0.02))));
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let run_group name tests =
+    Printf.printf "--- bechamel: %s ---\n%!" name;
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+    let raw = Benchmark.all cfg instances (Test.make_grouped ~name tests) in
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+    let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+    let rows =
+      Hashtbl.fold
+        (fun test_name ols acc ->
+          let ns = match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> Float.nan in
+          (test_name, ns) :: acc)
+        results []
+      |> List.sort compare
+    in
+    List.iter (fun (test_name, ns) -> Printf.printf "  %-42s %12.1f ns/run\n" test_name ns) rows;
+    print_newline ()
+  in
+  run_group "components" component_tests;
+  run_group "figure-drivers" figure_tests
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _ ] ->
+    List.iter (fun (id, _, _) -> run_experiment id) Simbridge.Experiments.all;
+    run_bechamel ()
+  | [ _; "bechamel" ] -> run_bechamel ()
+  | [ _; id ] -> run_experiment id
+  | _ ->
+    prerr_endline "usage: main.exe [experiment-id | bechamel]";
+    exit 1

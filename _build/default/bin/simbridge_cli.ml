@@ -1,0 +1,279 @@
+(* simbridge: command-line driver for the simulation-vs-silicon study.
+
+   Subcommands:
+     platforms            list the platform catalog
+     experiments          list reproducible tables/figures
+     run EXPERIMENT       regenerate one table/figure (or "all")
+     csv FIGURE           emit a figure's data as CSV
+     workload NAME        run one workload on one platform and print details
+     tune TARGET          rank candidate models against a silicon reference *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
+
+let list_platforms () =
+  List.iter
+    (fun (c : Platform.Config.t) ->
+      Format.printf "%-22s %s@." c.Platform.Config.name c.Platform.Config.description)
+    Platform.Catalog.all
+
+let list_experiments () =
+  List.iter
+    (fun (id, descr, _) -> Format.printf "%-12s %s@." id descr)
+    Simbridge.Experiments.all
+
+let run_experiment verbose id =
+  setup_logs verbose;
+  if id = "all" then
+    List.iter
+      (fun (id, _, render) ->
+        Format.printf "=== %s ===@.%s@." id (render ()))
+      Simbridge.Experiments.all
+  else
+    match List.find_opt (fun (i, _, _) -> i = id) Simbridge.Experiments.all with
+    | Some (_, _, render) -> print_string (render ())
+    | None ->
+      Format.eprintf "unknown experiment %s; try `simbridge experiments`@." id;
+      exit 1
+
+let csv_figure id scale =
+  let fig =
+    match id with
+    | "fig1" -> Some (Simbridge.Experiments.fig1 ~scale ())
+    | "fig2" -> Some (Simbridge.Experiments.fig2 ~scale ())
+    | "fig5" -> Some (Simbridge.Experiments.fig5 ~scale ())
+    | "fig6" -> Some (Simbridge.Experiments.fig6 ~scale ())
+    | "fig7" -> Some (Simbridge.Experiments.fig7 ~scale ())
+    | "fig3a" -> Some (List.nth (Simbridge.Experiments.fig3 ~scale ()) 0)
+    | "fig3b" -> Some (List.nth (Simbridge.Experiments.fig3 ~scale ()) 1)
+    | "fig4a" -> Some (List.nth (Simbridge.Experiments.fig4 ~scale ()) 0)
+    | "fig4b" -> Some (List.nth (Simbridge.Experiments.fig4 ~scale ()) 1)
+    | _ -> None
+  in
+  match fig with
+  | Some f -> print_string (Simbridge.Experiments.figure_csv f)
+  | None ->
+    Format.eprintf "unknown figure %s (fig1, fig2, fig3a, fig3b, fig4a, fig4b, fig5-7)@." id;
+    exit 1
+
+let print_result (r : Platform.Soc.result) =
+  Format.printf "platform      : %s@." r.platform;
+  Format.printf "ranks         : %d@." r.ranks;
+  Format.printf "cycles        : %d@." r.cycles;
+  Format.printf "target time   : %.6f s@." r.seconds;
+  Format.printf "instructions  : %d@." r.instructions;
+  Format.printf "IPC (total)   : %.3f@."
+    (float_of_int r.instructions /. float_of_int (max 1 r.cycles));
+  Format.printf "L1D miss rate : %.4f (%d/%d)@."
+    (float_of_int r.l1d_misses /. float_of_int (max 1 r.l1d_accesses))
+    r.l1d_misses r.l1d_accesses;
+  Format.printf "L2 miss rate  : %.4f (%d/%d)@."
+    (float_of_int r.l2_misses /. float_of_int (max 1 r.l2_accesses))
+    r.l2_misses r.l2_accesses;
+  Format.printf "DRAM requests : %d@." r.dram_requests;
+  match r.comm with
+  | None -> ()
+  | Some c ->
+    Format.printf "MPI messages  : %d (%d bytes), %d collectives@." c.Smpi.messages c.Smpi.bytes_moved
+      c.Smpi.collectives
+
+let run_workload verbose name platform ranks scale =
+  setup_logs verbose;
+  let config =
+    try Platform.Catalog.find platform
+    with Not_found ->
+      Format.eprintf "unknown platform %s; try `simbridge platforms`@." platform;
+      exit 1
+  in
+  let kernel = try Some (Workloads.Microbench.find name) with Not_found -> None in
+  match kernel with
+  | Some k ->
+    let r = Simbridge.Runner.run_kernel ~scale config k in
+    print_result r
+  | None ->
+    let apps =
+      Workloads.Npb.all @ [ Workloads.Ume.app; Workloads.Lammps.lj; Workloads.Lammps.chain ]
+    in
+    (match List.find_opt (fun (a : Workloads.Workload.app) -> a.app_name = name) apps with
+    | Some app ->
+      let r = Simbridge.Runner.run_app ~scale ~ranks config app in
+      print_result r
+    | None ->
+      Format.eprintf "unknown workload %s (microbench name, cg/ep/is/mg, ume, lammps-lj, lammps-chain)@." name;
+      exit 1)
+
+let run_compare name ranks scale =
+  (* Side-by-side sim-vs-silicon comparison for both platform pairs. *)
+  let kernel = try Some (Workloads.Microbench.find name) with Not_found -> None in
+  let apps =
+    Workloads.Npb.all @ [ Workloads.Ume.app; Workloads.Lammps.lj; Workloads.Lammps.chain ]
+  in
+  let pairs =
+    [
+      ("banana-pi", Platform.Catalog.banana_pi_sim, Platform.Catalog.banana_pi_hw);
+      ("milk-v", Platform.Catalog.milkv_sim, Platform.Catalog.milkv_hw);
+    ]
+  in
+  let t = Report.Table.create ~headers:[ "Pair"; "t_sim (ms)"; "t_hw (ms)"; "relative" ] in
+  List.iter
+    (fun (label, sim, hw) ->
+      let s, h =
+        match kernel with
+        | Some k ->
+          (Simbridge.Runner.run_kernel ~scale sim k, Simbridge.Runner.run_kernel ~scale hw k)
+        | None -> (
+          match List.find_opt (fun (a : Workloads.Workload.app) -> a.app_name = name) apps with
+          | Some app ->
+            ( Simbridge.Runner.run_app ~scale ~codegen:Workloads.Codegen.gcc_9_4 ~ranks sim app,
+              Simbridge.Runner.run_app ~scale ~codegen:Workloads.Codegen.gcc_13_2 ~ranks hw app )
+          | None ->
+            Format.eprintf "unknown workload %s@." name;
+            exit 1)
+      in
+      Report.Table.add_row t
+        [
+          label;
+          Printf.sprintf "%.4f" (s.Platform.Soc.seconds *. 1e3);
+          Printf.sprintf "%.4f" (h.Platform.Soc.seconds *. 1e3);
+          Printf.sprintf "%.3f" (Simbridge.Runner.relative_speedup ~sim:s ~hw:h);
+        ])
+    pairs;
+  print_string (Report.Table.render t)
+
+let run_grid target scale =
+  let base, hw =
+    match target with
+    | "banana-pi" -> (Platform.Catalog.banana_pi_sim, Platform.Catalog.banana_pi_hw)
+    | "milkv" -> (Platform.Catalog.milkv_sim, Platform.Catalog.milkv_hw)
+    | _ ->
+      Format.eprintf "unknown grid target %s (banana-pi | milkv)@." target;
+      exit 1
+  in
+  let kernels = List.map Workloads.Microbench.find [ "EI"; "ED1"; "MD"; "ML2"; "MM"; "Cca"; "CCh" ] in
+  let scores =
+    Simbridge.Tuning.grid_search ~scale ~kernels ~base ~hw
+      ~dimensions:
+        [
+          Simbridge.Tuning.dim_frequency [ 1.0; 1.5; 2.0 ];
+          Simbridge.Tuning.dim_dram_ctrl [ 0.5; 1.0 ];
+          Simbridge.Tuning.dim_l2_latency [ 0.75; 1.0 ];
+        ]
+      ()
+  in
+  print_string (Simbridge.Tuning.render_scores scores)
+
+let dump_raw dir scale =
+  (* The paper publishes its raw runtime data; this writes ours. *)
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let write name (fig : Simbridge.Experiments.figure) =
+    let path = Filename.concat dir (name ^ ".csv") in
+    let oc = open_out path in
+    output_string oc (Simbridge.Experiments.figure_csv fig);
+    close_out oc;
+    Format.printf "wrote %s@." path
+  in
+  write "fig1" (Simbridge.Experiments.fig1 ~scale ());
+  write "fig2" (Simbridge.Experiments.fig2 ~scale ());
+  List.iteri (fun i f -> write (Printf.sprintf "fig3%c" (Char.chr (97 + i))) f)
+    (Simbridge.Experiments.fig3 ~scale ());
+  List.iteri (fun i f -> write (Printf.sprintf "fig4%c" (Char.chr (97 + i))) f)
+    (Simbridge.Experiments.fig4 ~scale ());
+  write "fig5" (Simbridge.Experiments.fig5 ~scale ());
+  write "fig6" (Simbridge.Experiments.fig6 ~scale ());
+  write "fig7" (Simbridge.Experiments.fig7 ~scale ())
+
+let run_tune target scale =
+  let candidates, hw =
+    match target with
+    | "milkv" ->
+      ( [
+          Platform.Catalog.boom_small;
+          Platform.Catalog.boom_medium;
+          Platform.Catalog.boom_large;
+          Platform.Catalog.milkv_sim;
+        ],
+        Platform.Catalog.milkv_hw )
+    | "banana-pi" ->
+      ( Platform.Catalog.rocket1 :: Platform.Catalog.rocket2 :: Platform.Catalog.cva6
+        :: Platform.Catalog.banana_pi_sim
+        :: Simbridge.Tuning.sweep_frequency ~base:Platform.Catalog.banana_pi_sim
+             ~multipliers:[ 1.5; 2.0 ],
+        Platform.Catalog.banana_pi_hw )
+    | _ ->
+      Format.eprintf "unknown tuning target %s (milkv | banana-pi)@." target;
+      exit 1
+  in
+  let scores = Simbridge.Tuning.rank_candidates ~scale ~candidates ~hw () in
+  print_string (Simbridge.Tuning.render_scores scores)
+
+(* ------------------------------------------------------------------ cli *)
+
+let scale_arg =
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Workload size multiplier (default 1.0).")
+
+let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log each simulation run.")
+
+let platforms_cmd =
+  Cmd.v (Cmd.info "platforms" ~doc:"List the platform catalog")
+    Term.(const list_platforms $ const ())
+
+let experiments_cmd =
+  Cmd.v (Cmd.info "experiments" ~doc:"List reproducible tables and figures")
+    Term.(const list_experiments $ const ())
+
+let run_cmd =
+  let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT") in
+  Cmd.v (Cmd.info "run" ~doc:"Regenerate a table or figure (or 'all')")
+    Term.(const run_experiment $ verbose_arg $ id)
+
+let csv_cmd =
+  let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE") in
+  Cmd.v (Cmd.info "csv" ~doc:"Emit a figure's data as CSV")
+    Term.(const csv_figure $ id $ scale_arg)
+
+let workload_cmd =
+  let wname = Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD") in
+  let platform =
+    Arg.(value & opt string "banana-pi-sim" & info [ "platform"; "p" ] ~doc:"Platform name.")
+  in
+  let ranks = Arg.(value & opt int 1 & info [ "ranks"; "n" ] ~doc:"MPI ranks (apps only).") in
+  Cmd.v (Cmd.info "workload" ~doc:"Run one workload on one platform")
+    Term.(const run_workload $ verbose_arg $ wname $ platform $ ranks $ scale_arg)
+
+let tune_cmd =
+  let target = Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET") in
+  Cmd.v (Cmd.info "tune" ~doc:"Rank candidate models against a silicon reference")
+    Term.(const run_tune $ target $ scale_arg)
+
+let compare_cmd =
+  let wname = Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD") in
+  let ranks = Arg.(value & opt int 1 & info [ "ranks"; "n" ] ~doc:"MPI ranks (apps only).") in
+  Cmd.v (Cmd.info "compare" ~doc:"Run a workload on both platform pairs and report relative speedups")
+    Term.(const run_compare $ wname $ ranks $ scale_arg)
+
+let grid_cmd =
+  let target = Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET") in
+  Cmd.v
+    (Cmd.info "grid" ~doc:"Auto-tune a simulation model against a silicon reference (grid search)")
+    Term.(const run_grid $ target $ scale_arg)
+
+let dump_cmd =
+  let dir =
+    Arg.(value & opt string "results" & info [ "out"; "o" ] ~doc:"Output directory for CSV files.")
+  in
+  Cmd.v (Cmd.info "dump-raw" ~doc:"Write every figure's raw data as CSV (as the paper does on GitHub)")
+    Term.(const dump_raw $ dir $ scale_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "simbridge" ~version:"1.0.0"
+       ~doc:"Bridging Simulation and Silicon: FireSim-style models vs RISC-V silicon references")
+    [
+      platforms_cmd; experiments_cmd; run_cmd; csv_cmd; workload_cmd; tune_cmd; compare_cmd;
+      grid_cmd; dump_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,41 @@
+(* Quickstart: the five-minute tour of the public API.
+
+   1. pick platforms from the catalog (a FireSim-style simulation model
+      and its silicon reference),
+   2. run a microbenchmark on both and compare (relative speedup,
+      the paper's metric),
+   3. run an MPI application across 1/2/4 ranks and watch it scale.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Platforms. *)
+  let sim = Platform.Catalog.banana_pi_sim in
+  let hw = Platform.Catalog.banana_pi_hw in
+  Format.printf "Simulation model : %a@.@." Platform.Config.pp_summary sim;
+  Format.printf "Silicon reference: %a@.@." Platform.Config.pp_summary hw;
+
+  (* 2. One microbenchmark, both platforms. *)
+  let kernel = Workloads.Microbench.find "MM" in
+  let r_sim = Simbridge.Runner.run_kernel sim kernel in
+  let r_hw = Simbridge.Runner.run_kernel hw kernel in
+  Format.printf "MM (non-cache-resident linked list):@.";
+  Format.printf "  simulated: %d cycles (%.3f ms target time)@." r_sim.Platform.Soc.cycles
+    (r_sim.Platform.Soc.seconds *. 1e3);
+  Format.printf "  silicon  : %d cycles (%.3f ms target time)@." r_hw.Platform.Soc.cycles
+    (r_hw.Platform.Soc.seconds *. 1e3);
+  Format.printf "  relative speedup (t_hw / t_sim): %.2f  (1.0 = exact match)@.@."
+    (Simbridge.Runner.relative_speedup ~sim:r_sim ~hw:r_hw);
+
+  (* 3. An MPI application scaling over ranks. *)
+  Format.printf "CG (mini NPB) strong scaling on the simulation model:@.";
+  List.iter
+    (fun ranks ->
+      let r = Simbridge.Runner.run_app ~ranks sim Workloads.Npb.cg in
+      Format.printf "  %d rank(s): %.4f ms, %d instructions, %d MPI collectives@." ranks
+        (r.Platform.Soc.seconds *. 1e3)
+        r.Platform.Soc.instructions
+        (match r.Platform.Soc.comm with Some c -> c.Smpi.collectives | None -> 0))
+    [ 1; 2; 4 ];
+  Format.printf "@.Next: `dune exec bin/simbridge_cli.exe -- experiments` lists every@.";
+  Format.printf "table and figure of the paper this library regenerates.@."

@@ -1,0 +1,28 @@
+(* Scale-out simulation — the paper's future work, runnable today:
+
+   compose several simulated SoCs through a FireSim-style switched
+   network (2 us links, 200 Gb/s) and watch a compute-bound and a
+   communication-bound NPB kernel diverge as nodes are added.  This is
+   the §7 study the paper proposes for the 8-node BxE cluster.
+
+   Run with: dune exec examples/scale_out.exe *)
+
+let () =
+  let platform = Platform.Catalog.banana_pi_sim in
+  Format.printf "Node platform: %a@.@." Platform.Config.pp_summary platform;
+
+  print_string (Firesim.Multinode.scaling_table ~scale:1.0 platform Workloads.Npb.ep);
+  print_newline ();
+  print_string (Firesim.Multinode.scaling_table ~scale:1.0 platform Workloads.Npb.cg);
+
+  (* Drill into one configuration: where does CG's time go? *)
+  let cfg = Firesim.Multinode.default ~nodes:4 platform in
+  let r = Firesim.Multinode.run_app cfg Workloads.Npb.cg in
+  Format.printf "@.CG on 4 nodes x %d ranks:@." cfg.Firesim.Multinode.ranks_per_node;
+  Format.printf "  target time        : %.4f ms@." (r.Firesim.Multinode.seconds *. 1e3);
+  Format.printf "  inter-node traffic : %d messages, %d bytes@." r.Firesim.Multinode.internode_messages
+    r.Firesim.Multinode.internode_bytes;
+  Format.printf "  MPI collectives    : %d@." r.Firesim.Multinode.comm.Smpi.collectives;
+  Format.printf
+    "@.EP keeps scaling while CG saturates on allgather latency across the@.\
+     switch — the crossover a real 8-node BxE study would quantify.@."

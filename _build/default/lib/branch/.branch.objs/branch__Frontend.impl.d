@@ -1,0 +1,1 @@
+lib/branch/frontend.ml: Array Isa Predictor

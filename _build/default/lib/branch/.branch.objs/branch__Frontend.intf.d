@@ -1,0 +1,1 @@
+lib/branch/frontend.mli: Isa Predictor

@@ -1,0 +1,168 @@
+type config =
+  | Static_taken
+  | Static_not_taken
+  | Bimodal of { entries : int }
+  | Gshare of { entries : int; history_bits : int }
+  | Tage of { base_entries : int; tables : int; table_entries : int; max_history : int }
+
+type tage_entry = { mutable tag : int; mutable ctr : int; mutable useful : int }
+
+type tage_state = {
+  base : Bytes.t;
+  base_mask : int;
+  tables : tage_entry array array;  (* tables.(i) has geometric history length *)
+  hist_lens : int array;
+  entry_mask : int;
+  mutable history : int;  (* low bits = most recent outcomes *)
+}
+
+type gshare_state = { g_counters : Bytes.t; g_mask : int; g_hist_mask : int; mutable g_history : int }
+
+type state =
+  | S_static of bool
+  | S_bimodal of { counters : Bytes.t; mask : int }
+  | S_gshare of gshare_state
+  | S_tage of tage_state
+
+type t = { state : state }
+
+let require_pow2 name n =
+  if n <= 0 || n land (n - 1) <> 0 then invalid_arg (name ^ ": size must be a positive power of two")
+
+(* 2-bit saturating counters packed one per byte: 0..3; >=2 predicts taken.
+   Initialized to weakly-taken (2), matching common hardware reset. *)
+let new_counters entries = Bytes.make entries '\002'
+
+let ctr_get c i = Char.code (Bytes.unsafe_get c i)
+let ctr_set c i v = Bytes.unsafe_set c i (Char.chr v)
+
+let ctr_train c i taken =
+  let v = ctr_get c i in
+  let v' = if taken then min 3 (v + 1) else max 0 (v - 1) in
+  ctr_set c i v'
+
+let fold_pc pc = (pc lsr 2) lxor (pc lsr 13)
+
+let create config =
+  let state =
+    match config with
+    | Static_taken -> S_static true
+    | Static_not_taken -> S_static false
+    | Bimodal { entries } ->
+      require_pow2 "Predictor.Bimodal" entries;
+      S_bimodal { counters = new_counters entries; mask = entries - 1 }
+    | Gshare { entries; history_bits } ->
+      require_pow2 "Predictor.Gshare" entries;
+      if history_bits < 1 || history_bits > 30 then invalid_arg "Predictor.Gshare: history_bits";
+      S_gshare
+        {
+          g_counters = new_counters entries;
+          g_mask = entries - 1;
+          g_hist_mask = (1 lsl history_bits) - 1;
+          g_history = 0;
+        }
+    | Tage { base_entries; tables; table_entries; max_history } ->
+      require_pow2 "Predictor.Tage base" base_entries;
+      require_pow2 "Predictor.Tage tables" table_entries;
+      if tables < 1 then invalid_arg "Predictor.Tage: tables";
+      if max_history < tables then invalid_arg "Predictor.Tage: max_history";
+      (* Geometric history lengths from 2 up to max_history. *)
+      let ratio = (float_of_int max_history /. 2.0) ** (1.0 /. float_of_int (max 1 (tables - 1))) in
+      let hist_lens =
+        Array.init tables (fun i ->
+            min 62 (max (i + 2) (int_of_float (2.0 *. (ratio ** float_of_int i)))))
+      in
+      let mk_table _ = Array.init table_entries (fun _ -> { tag = -1; ctr = 2; useful = 0 }) in
+      S_tage
+        {
+          base = new_counters base_entries;
+          base_mask = base_entries - 1;
+          tables = Array.init tables mk_table;
+          hist_lens;
+          entry_mask = table_entries - 1;
+          history = 0;
+        }
+  in
+  { state }
+
+let tage_index s pc table_i =
+  let len = s.hist_lens.(table_i) in
+  let hist = s.history land ((1 lsl len) - 1) in
+  (* Mix folded history with pc; cheap but adequate hash. *)
+  let h = fold_pc pc lxor hist lxor (hist lsr 7) lxor (table_i * 0x9e37) in
+  h land s.entry_mask
+
+let tage_tag s pc table_i =
+  let len = s.hist_lens.(table_i) in
+  let hist = s.history land ((1 lsl len) - 1) in
+  ((fold_pc pc * 31) lxor (hist * 7) lxor table_i) land 0xff
+
+(* Longest-history table whose entry's tag matches provides the prediction;
+   otherwise the bimodal base does. *)
+let tage_lookup s pc =
+  let rec search i =
+    if i < 0 then None
+    else
+      let e = s.tables.(i).(tage_index s pc i) in
+      if e.tag = tage_tag s pc i then Some (i, e) else search (i - 1)
+  in
+  search (Array.length s.tables - 1)
+
+let predict t ~pc =
+  match t.state with
+  | S_static b -> b
+  | S_bimodal { counters; mask } -> ctr_get counters (fold_pc pc land mask) >= 2
+  | S_gshare g -> ctr_get g.g_counters ((fold_pc pc lxor (g.g_history land g.g_hist_mask)) land g.g_mask) >= 2
+  | S_tage s -> (
+    match tage_lookup s pc with
+    | Some (_, e) -> e.ctr >= 2
+    | None -> ctr_get s.base (fold_pc pc land s.base_mask) >= 2)
+
+let update t ~pc ~taken =
+  match t.state with
+  | S_static _ -> ()
+  | S_bimodal { counters; mask } -> ctr_train counters (fold_pc pc land mask) taken
+  | S_gshare g ->
+    ctr_train g.g_counters ((fold_pc pc lxor (g.g_history land g.g_hist_mask)) land g.g_mask) taken;
+    g.g_history <- ((g.g_history lsl 1) lor Bool.to_int taken) land g.g_hist_mask
+  | S_tage s ->
+    let matched = tage_lookup s pc in
+    let predicted =
+      match matched with
+      | Some (_, e) -> e.ctr >= 2
+      | None -> ctr_get s.base (fold_pc pc land s.base_mask) >= 2
+    in
+    (match matched with
+    | Some (_, e) ->
+      e.ctr <- (if taken then min 3 (e.ctr + 1) else max 0 (e.ctr - 1));
+      if predicted = taken then e.useful <- min 3 (e.useful + 1)
+      else e.useful <- max 0 (e.useful - 1)
+    | None -> ctr_train s.base (fold_pc pc land s.base_mask) taken);
+    (* On a misprediction, allocate in a longer-history table to capture the
+       correlation the current provider missed. *)
+    (if predicted <> taken then
+       let start = match matched with Some (i, _) -> i + 1 | None -> 0 in
+       let rec alloc i =
+         if i < Array.length s.tables then begin
+           let e = s.tables.(i).(tage_index s pc i) in
+           if e.useful = 0 then begin
+             e.tag <- tage_tag s pc i;
+             e.ctr <- (if taken then 2 else 1);
+             e.useful <- 0
+           end
+           else begin
+             e.useful <- e.useful - 1;
+             alloc (i + 1)
+           end
+         end
+       in
+       alloc start);
+    s.history <- ((s.history lsl 1) lor Bool.to_int taken) land ((1 lsl 62) - 1)
+
+let name = function
+  | Static_taken -> "static-taken"
+  | Static_not_taken -> "static-not-taken"
+  | Bimodal { entries } -> Printf.sprintf "bimodal-%d" entries
+  | Gshare { entries; history_bits } -> Printf.sprintf "gshare-%d-h%d" entries history_bits
+  | Tage { tables; table_entries; max_history; _ } ->
+    Printf.sprintf "tage-%dx%d-h%d" tables table_entries max_history

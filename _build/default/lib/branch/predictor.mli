@@ -1,0 +1,25 @@
+(** Conditional-branch direction predictors.
+
+    The Rocket frontend uses BTB + BHT (bimodal) + RAS; BOOM uses a TAGE-L
+    predictor.  We provide bimodal, gshare and a TAGE-lite (tagged geometric
+    history lengths over a bimodal base) so the platform catalog can model
+    both generations, plus trivial static predictors for baselines. *)
+
+type t
+
+type config =
+  | Static_taken
+  | Static_not_taken
+  | Bimodal of { entries : int }  (** 2-bit counters indexed by PC *)
+  | Gshare of { entries : int; history_bits : int }
+  | Tage of { base_entries : int; tables : int; table_entries : int; max_history : int }
+
+val create : config -> t
+
+val predict : t -> pc:int -> bool
+(** Predicted direction for the branch at [pc] given current history. *)
+
+val update : t -> pc:int -> taken:bool -> unit
+(** Train with the resolved outcome and advance global history. *)
+
+val name : config -> string

@@ -1,0 +1,256 @@
+type config = {
+  name : string;
+  sets : int;
+  ways : int;
+  line : int;
+  hit_latency : int;
+  mshrs : int;
+  banks : int;
+  write_back : bool;
+  prefetch_next : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let config ?(hit_latency = 2) ?(mshrs = 4) ?(banks = 1) ?(write_back = true) ?(line = 64)
+    ?(prefetch_next = 0) ~name ~sets ~ways () =
+  if not (is_pow2 sets) then invalid_arg "Cache.config: sets must be a power of two";
+  if not (is_pow2 line) then invalid_arg "Cache.config: line must be a power of two";
+  if not (is_pow2 banks) then invalid_arg "Cache.config: banks must be a power of two";
+  if ways <= 0 then invalid_arg "Cache.config: ways";
+  if mshrs <= 0 then invalid_arg "Cache.config: mshrs";
+  if hit_latency <= 0 then invalid_arg "Cache.config: hit_latency";
+  if prefetch_next < 0 then invalid_arg "Cache.config: prefetch_next";
+  { name; sets; ways; line; hit_latency; mshrs; banks; write_back; prefetch_next }
+
+let size_bytes c = c.sets * c.ways * c.line
+
+type stats = {
+  accesses : int;
+  hits : int;
+  misses : int;
+  writebacks : int;
+  bank_conflicts : int;
+  mshr_stalls : int;
+  prefetches : int;
+}
+
+type next_level = cycle:int -> addr:int -> write:bool -> int
+
+type t = {
+  cfg : config;
+  tags : int array;  (* sets*ways, -1 = invalid; stores line address *)
+  last_use : int array;  (* monotone use counter per way *)
+  dirty : bool array;
+  fill_done : int array;  (* cycle the line's refill completes *)
+  pref_tag : bool array;  (* line was prefetched and not yet demanded *)
+  bank_free : int array;  (* cycle at which each bank accepts a new access *)
+  mshr_done : int array;  (* completion cycles of outstanding misses *)
+  mutable use_clock : int;
+  streams : int array;  (* stream table: expected next miss line per stream *)
+  mutable stream_rr : int;
+  mutable s_accesses : int;
+  mutable s_hits : int;
+  mutable s_misses : int;
+  mutable s_writebacks : int;
+  mutable s_bank_conflicts : int;
+  mutable s_mshr_stalls : int;
+  mutable s_prefetches : int;
+}
+
+let create cfg =
+  {
+    cfg;
+    tags = Array.make (cfg.sets * cfg.ways) (-1);
+    last_use = Array.make (cfg.sets * cfg.ways) 0;
+    dirty = Array.make (cfg.sets * cfg.ways) false;
+    fill_done = Array.make (cfg.sets * cfg.ways) 0;
+    pref_tag = Array.make (cfg.sets * cfg.ways) false;
+    bank_free = Array.make cfg.banks 0;
+    mshr_done = Array.make cfg.mshrs 0;
+    use_clock = 0;
+    streams = Array.make 8 min_int;
+    stream_rr = 0;
+    s_accesses = 0;
+    s_hits = 0;
+    s_misses = 0;
+    s_writebacks = 0;
+    s_bank_conflicts = 0;
+    s_mshr_stalls = 0;
+    s_prefetches = 0;
+  }
+
+let line_addr t addr = addr land lnot (t.cfg.line - 1)
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let set_of t addr =
+  let line = addr lsr log2 t.cfg.line in
+  line land (t.cfg.sets - 1)
+
+let bank_of t addr =
+  let line = addr lsr log2 t.cfg.line in
+  line land (t.cfg.banks - 1)
+
+let find_way t set line =
+  let base = set * t.cfg.ways in
+  let rec go w = if w >= t.cfg.ways then -1 else if t.tags.(base + w) = line then base + w else go (w + 1) in
+  go 0
+
+let victim_way t set =
+  let base = set * t.cfg.ways in
+  let best = ref base in
+  for w = 1 to t.cfg.ways - 1 do
+    let i = base + w in
+    if t.tags.(i) = -1 && t.tags.(!best) <> -1 then best := i
+    else if t.tags.(i) <> -1 && t.tags.(!best) <> -1 && t.last_use.(i) < t.last_use.(!best) then
+      best := i
+  done;
+  !best
+
+let touch t slot =
+  t.use_clock <- t.use_clock + 1;
+  t.last_use.(slot) <- t.use_clock
+
+(* Reserve an MSHR for a miss issued at [cycle]; returns the cycle at which
+   the miss can actually be sent downstream. *)
+let grab_mshr t cycle =
+  let best = ref 0 in
+  for i = 1 to t.cfg.mshrs - 1 do
+    if t.mshr_done.(i) < t.mshr_done.(!best) then best := i
+  done;
+  let start =
+    if t.mshr_done.(!best) <= cycle then cycle
+    else begin
+      t.s_mshr_stalls <- t.s_mshr_stalls + 1;
+      t.mshr_done.(!best)
+    end
+  in
+  (!best, start)
+
+(* Install [line] (absent) by evicting a victim; returns the slot. *)
+let install t set line ~fill ~dirty ~prefetched ~next =
+  let victim = victim_way t set in
+  if t.tags.(victim) <> -1 && t.dirty.(victim) && t.cfg.write_back then begin
+    t.s_writebacks <- t.s_writebacks + 1;
+    (* The write-back consumes downstream bandwidth but is off the demand
+       access's critical path. *)
+    ignore (next ~cycle:fill ~addr:(t.tags.(victim)) ~write:true)
+  end;
+  t.tags.(victim) <- line;
+  t.dirty.(victim) <- dirty;
+  t.fill_done.(victim) <- fill;
+  t.pref_tag.(victim) <- prefetched;
+  touch t victim;
+  victim
+
+(* Bring one line in as a prefetch (no-op if present). *)
+let prefetch_line t line ~cycle ~next =
+  let set = set_of t line in
+  if find_way t set line < 0 then begin
+    t.s_prefetches <- t.s_prefetches + 1;
+    let fill = next ~cycle ~addr:line ~write:false in
+    ignore (install t set line ~fill ~dirty:false ~prefetched:true ~next)
+  end
+
+let access ?(prefetchable = true) t ~next ~cycle ~addr ~write =
+  t.s_accesses <- t.s_accesses + 1;
+  let bank = bank_of t addr in
+  let start =
+    if t.bank_free.(bank) <= cycle then cycle
+    else begin
+      t.s_bank_conflicts <- t.s_bank_conflicts + 1;
+      t.bank_free.(bank)
+    end
+  in
+  (* Pipelined bank: occupied for one cycle per access. *)
+  t.bank_free.(bank) <- start + 1;
+  let line = line_addr t addr in
+  let set = set_of t addr in
+  let slot = find_way t set line in
+  if slot >= 0 then begin
+    t.s_hits <- t.s_hits + 1;
+    touch t slot;
+    if write then t.dirty.(slot) <- true;
+    (* Tagged stream prefetch: consuming a prefetched line keeps the
+       stream running [prefetch_next] lines ahead. *)
+    if t.pref_tag.(slot) then begin
+      t.pref_tag.(slot) <- false;
+      if t.cfg.prefetch_next > 0 then
+        prefetch_line t
+          (line + (t.cfg.prefetch_next * t.cfg.line))
+          ~cycle:(start + t.cfg.hit_latency) ~next
+    end;
+    (* A hit on a line whose refill (e.g. a prefetch) is still in flight
+       waits for the fill. *)
+    max (start + t.cfg.hit_latency) t.fill_done.(slot)
+  end
+  else begin
+    t.s_misses <- t.s_misses + 1;
+    (* Stream table: a miss matching some stream's expected next line
+       confirms that stream; otherwise it allocates a fresh entry.  This
+       tracks several interleaved streams (stencil codes touch many). *)
+    let sequential =
+      prefetchable
+      &&
+      let rec find i = i < Array.length t.streams && (t.streams.(i) = line || find (i + 1)) in
+      find 0
+    in
+    (if sequential then
+       Array.iteri (fun i e -> if e = line then t.streams.(i) <- line + t.cfg.line) t.streams
+     else if prefetchable then begin
+       t.streams.(t.stream_rr) <- line + t.cfg.line;
+       t.stream_rr <- (t.stream_rr + 1) mod Array.length t.streams
+     end);
+    let mshr, issue = grab_mshr t start in
+    (* Refill from downstream; the tag lookup has already cost hit_latency. *)
+    let fill_done = next ~cycle:(issue + t.cfg.hit_latency) ~addr:line ~write:false in
+    t.mshr_done.(mshr) <- fill_done;
+    ignore (install t set line ~fill:fill_done ~dirty:(write && t.cfg.write_back) ~prefetched:false ~next);
+    (* Stride-detected stream prefetch: a second consecutive miss launches
+       a burst covering the next [prefetch_next] lines; tagged hits keep
+       the stream ahead.  Random misses never trigger it. *)
+    if t.cfg.prefetch_next > 0 && sequential then
+      for k = 1 to t.cfg.prefetch_next do
+        prefetch_line t (line + (k * t.cfg.line)) ~cycle:(issue + t.cfg.hit_latency) ~next
+      done;
+    fill_done
+  end
+
+let probe t ~addr =
+  let line = line_addr t addr in
+  find_way t (set_of t addr) line >= 0
+
+let flush t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.dirty 0 (Array.length t.dirty) false;
+  Array.fill t.fill_done 0 (Array.length t.fill_done) 0;
+  Array.fill t.pref_tag 0 (Array.length t.pref_tag) false;
+  Array.fill t.streams 0 (Array.length t.streams) min_int;
+  Array.fill t.bank_free 0 (Array.length t.bank_free) 0;
+  Array.fill t.mshr_done 0 (Array.length t.mshr_done) 0
+
+let stats t =
+  {
+    accesses = t.s_accesses;
+    hits = t.s_hits;
+    misses = t.s_misses;
+    writebacks = t.s_writebacks;
+    bank_conflicts = t.s_bank_conflicts;
+    mshr_stalls = t.s_mshr_stalls;
+    prefetches = t.s_prefetches;
+  }
+
+let reset_stats t =
+  t.s_accesses <- 0;
+  t.s_hits <- 0;
+  t.s_misses <- 0;
+  t.s_writebacks <- 0;
+  t.s_bank_conflicts <- 0;
+  t.s_mshr_stalls <- 0;
+  t.s_prefetches <- 0
+
+let miss_rate t =
+  if t.s_accesses = 0 then 0.0 else float_of_int t.s_misses /. float_of_int t.s_accesses

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Cache Dram Firesim Format Interconnect List Option Platform Printf Report Runner String Uarch Util Workloads

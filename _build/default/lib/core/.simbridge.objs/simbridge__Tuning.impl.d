@@ -1,0 +1,1 @@
+lib/core/tuning.ml: Array Cache Dram Float List Platform Printf Report Runner String Util Workloads

@@ -1,0 +1,495 @@
+module W = Workloads.Workload
+module Mb = Workloads.Microbench
+module Npb = Workloads.Npb
+module Cat = Platform.Catalog
+
+type series = {
+  label : string;
+  points : (string * float) list;
+}
+
+type figure = {
+  id : string;
+  title : string;
+  note : string;
+  reference : float option;
+  series : series list;
+}
+
+let render_figure f =
+  let groups =
+    (* Group by x label: every series' value for that x. *)
+    match f.series with
+    | [] -> []
+    | first :: _ ->
+      List.map
+        (fun (x, _) ->
+          (x, List.filter_map (fun s -> Option.map (fun v -> (s.label, v)) (List.assoc_opt x s.points)) f.series))
+        first.points
+  in
+  let chart = Report.Chart.grouped_bars ?reference:f.reference ~title:(f.id ^ ": " ^ f.title) ~groups () in
+  chart ^ (if f.note = "" then "" else "note: " ^ f.note ^ "\n")
+
+let figure_csv f =
+  let t = Report.Table.create ~headers:("x" :: List.map (fun s -> s.label) f.series) in
+  (match f.series with
+  | [] -> ()
+  | first :: _ ->
+    List.iter
+      (fun (x, _) ->
+        Report.Table.add_row t
+          (x
+          :: List.map
+               (fun s ->
+                 match List.assoc_opt x s.points with
+                 | Some v -> Report.Table.cell_f v
+                 | None -> "")
+               f.series))
+      first.points);
+  Report.Table.to_csv t
+
+(* ------------------------------------------------------------- tables *)
+
+let table1 () =
+  let t = Report.Table.create ~headers:[ "Name"; "Category"; "Description"; "Evaluated" ] in
+  List.iter
+    (fun (k : W.kernel) ->
+      Report.Table.add_row t
+        [ k.name; W.category_name k.category; k.description; (if k.excluded then "no" else "yes") ])
+    Mb.all;
+  "Table 1: MicroBench kernels, categories, and descriptions\n" ^ Report.Table.render t
+
+let table2 () =
+  let t = Report.Table.create ~headers:[ "Benchmark"; "Characteristics"; "Class" ] in
+  List.iter
+    (fun (a : W.app) ->
+      Report.Table.add_row t [ String.uppercase_ascii a.app_name; a.characteristics; "A (mini)" ])
+    Npb.all;
+  "Table 2: NPB apps used in the experiments\n" ^ Report.Table.render t
+
+let table3 () =
+  let t = Report.Table.create ~headers:[ "Side"; "Codegen"; "Overhead"; "Unroll" ] in
+  let row side (c : Workloads.Codegen.t) =
+    Report.Table.add_row t
+      [ side; c.name; Printf.sprintf "%.2fx" c.overhead; string_of_int c.unroll ]
+  in
+  row "boards (MILK-V / Banana Pi)" Workloads.Codegen.gcc_13_2;
+  row "FireSim image" Workloads.Codegen.gcc_9_4;
+  "Table 3: compiler settings (exposed as the Codegen knob)\n" ^ Report.Table.render t
+
+let core_cells (c : Platform.Config.t) =
+  match c.core with
+  | Platform.Config.Inorder ic ->
+    let open Uarch.Inorder in
+    [
+      Printf.sprintf "%.1f GHz" (ic.freq_hz /. 1e9);
+      Printf.sprintf "Fetch:%d, Issue:%d, %d-stage" ic.fetch_width ic.issue_width ic.pipeline_stages;
+      "N/A";
+      "N/A";
+    ]
+  | Platform.Config.Ooo oc ->
+    let open Uarch.Ooo in
+    [
+      Printf.sprintf "%.1f GHz" (oc.freq_hz /. 1e9);
+      Printf.sprintf "Fetch:%d, Decode:%d" oc.fetch_width oc.decode_width;
+      Printf.sprintf "RoB:%d" oc.rob_entries;
+      Printf.sprintf "Load:%d, Store:%d" oc.ldq_entries oc.stq_entries;
+    ]
+
+let table4 () =
+  let t =
+    Report.Table.create
+      ~headers:[ "FireSim Model"; "Clock"; "Front End"; "RoB"; "LSQ"; "L1D"; "L2 banks"; "Bus" ]
+  in
+  List.iter
+    (fun (c : Platform.Config.t) ->
+      Report.Table.add_row t
+        ((c.name :: core_cells c)
+        @ [
+            Printf.sprintf "Sets:%d, Ways:%d" c.l1d.Cache.sets c.l1d.Cache.ways;
+            string_of_int c.l2.Cache.banks;
+            Printf.sprintf "%d-bit" c.bus.Interconnect.Bus.width_bits;
+          ]))
+    [ Cat.rocket1; Cat.rocket2; Cat.boom_small; Cat.boom_medium; Cat.boom_large ];
+  "Table 4: FireSim models\n" ^ Report.Table.render t
+
+let table5 () =
+  let t =
+    Report.Table.create
+      ~headers:[ "Platform"; "Role"; "Cores"; "Clock"; "L1D"; "L2"; "LLC"; "TLB"; "External memory" ]
+  in
+  let row role (c : Platform.Config.t) =
+    Report.Table.add_row t
+      [
+        c.name;
+        role;
+        string_of_int c.cores;
+        Printf.sprintf "%.1f GHz" (Platform.Config.freq_hz c /. 1e9);
+        Printf.sprintf "%d KiB" (Cache.size_bytes c.l1d / 1024);
+        Printf.sprintf "%d KiB" (Cache.size_bytes c.l2 / 1024);
+        (match c.llc with
+        | None -> "none"
+        | Some llc -> Printf.sprintf "%d MiB" (Cache.size_bytes llc / 1024 / 1024));
+        (let t = c.dtlb in
+         if t.Platform.Tlb.l2_entries > 0 then
+           Printf.sprintf "L1 %d (FA) + L2 %d (DM)" t.Platform.Tlb.l1_entries t.Platform.Tlb.l2_entries
+         else Printf.sprintf "L1 %d (FA)" t.Platform.Tlb.l1_entries);
+        c.dram.Dram.name;
+      ]
+  in
+  row "silicon ref" Cat.banana_pi_hw;
+  row "sim model" Cat.banana_pi_sim;
+  row "sim model (fast)" Cat.fast_banana_pi_sim;
+  row "silicon ref" Cat.milkv_hw;
+  row "sim model" Cat.milkv_sim;
+  "Table 5: hardware and simulation-model specifications\n" ^ Report.Table.render t
+
+(* ------------------------------------------------------------- figures *)
+
+let microbench_figure ~id ~title ~hw ~sims ~scale =
+  let kernels = Mb.evaluated in
+  let hw_results =
+    List.map (fun (k : W.kernel) -> (k.name, Runner.run_kernel ~scale hw k)) kernels
+  in
+  let series =
+    List.map
+      (fun (sim : Platform.Config.t) ->
+        {
+          label = sim.name;
+          points =
+            List.map
+              (fun (k : W.kernel) ->
+                let s = Runner.run_kernel ~scale sim k in
+                let h = List.assoc k.name hw_results in
+                (k.name, Runner.relative_speedup ~sim:s ~hw:h))
+              kernels;
+        })
+      sims
+  in
+  {
+    id;
+    title;
+    note = "relative speedup = t_hw / t_sim; 1.0 = exact match";
+    reference = Some 1.0;
+    series;
+  }
+
+let fig1 ?(scale = 1.0) () =
+  microbench_figure ~id:"fig1" ~title:"MicroBench: Rocket models vs Banana Pi hardware"
+    ~hw:Cat.banana_pi_hw
+    ~sims:[ Cat.banana_pi_sim; Cat.fast_banana_pi_sim ]
+    ~scale
+
+let fig2 ?(scale = 1.0) () =
+  microbench_figure ~id:"fig2" ~title:"MicroBench: BOOM models vs MILK-V hardware" ~hw:Cat.milkv_hw
+    ~sims:[ Cat.boom_small; Cat.boom_medium; Cat.boom_large; Cat.milkv_sim ]
+    ~scale
+
+let npb_figure ~id ~title ~hw ~sims ~ranks ~scale =
+  let hw_results =
+    List.map
+      (fun (a : W.app) ->
+        (a.app_name, Runner.run_app ~scale ~codegen:Workloads.Codegen.gcc_13_2 ~ranks hw a))
+      Npb.all
+  in
+  {
+    id;
+    title;
+    note = Printf.sprintf "%d rank(s); relative speedup = t_hw / t_sim" ranks;
+    reference = Some 1.0;
+    series =
+      List.map
+        (fun (sim : Platform.Config.t) ->
+          {
+            label = sim.name;
+            points =
+              List.map
+                (fun (a : W.app) ->
+                  let s = Runner.run_app ~scale ~codegen:Workloads.Codegen.gcc_9_4 ~ranks sim a in
+                  let h = List.assoc a.app_name hw_results in
+                  (String.uppercase_ascii a.app_name, Runner.relative_speedup ~sim:s ~hw:h))
+                Npb.all;
+          })
+        sims;
+  }
+
+let fig3 ?(scale = 1.0) () =
+  let sims = [ Cat.rocket1; Cat.rocket2; Cat.banana_pi_sim; Cat.fast_banana_pi_sim ] in
+  [
+    npb_figure ~id:"fig3a" ~title:"NPB on Rocket configs vs Banana Pi (single core)"
+      ~hw:Cat.banana_pi_hw ~sims ~ranks:1 ~scale;
+    npb_figure ~id:"fig3b" ~title:"NPB on Rocket configs vs Banana Pi (four cores)"
+      ~hw:Cat.banana_pi_hw ~sims ~ranks:4 ~scale;
+  ]
+
+let fig4 ?(scale = 1.0) () =
+  let a =
+    npb_figure ~id:"fig4a" ~title:"NPB on stock BOOM configs vs MILK-V (single core)"
+      ~hw:Cat.milkv_hw
+      ~sims:[ Cat.boom_small; Cat.boom_medium; Cat.boom_large ]
+      ~ranks:1 ~scale
+  in
+  (* (b): the tuned MILK-V Sim Model at 1 and 4 ranks. *)
+  let point_for ranks (app : W.app) =
+    (String.uppercase_ascii app.app_name,
+     Runner.app_relative ~scale ~ranks ~sim:Cat.milkv_sim ~hw:Cat.milkv_hw app)
+  in
+  let b =
+    {
+      id = "fig4b";
+      title = "NPB on the MILK-V Sim Model vs MILK-V (1 and 4 cores)";
+      note = "relative speedup = t_hw / t_sim";
+      reference = Some 1.0;
+      series =
+        [
+          { label = "1 core"; points = List.map (point_for 1) Npb.all };
+          { label = "4 cores"; points = List.map (point_for 4) Npb.all };
+        ];
+    }
+  in
+  [ a; b ]
+
+let app_pair_figure ~id ~title (app : W.app) ~scale =
+  let ranks_list = [ 1; 2; 4 ] in
+  let series_of label sim hw =
+    {
+      label;
+      points =
+        List.map
+          (fun ranks ->
+            (string_of_int ranks ^ " ranks", Runner.app_relative ~scale ~ranks ~sim ~hw app))
+          ranks_list;
+    }
+  in
+  {
+    id;
+    title;
+    note = "relative speedup = t_hw / t_sim per rank count";
+    reference = Some 1.0;
+    series =
+      [
+        series_of "banana-pi pair" Cat.banana_pi_sim Cat.banana_pi_hw;
+        series_of "milk-v pair" Cat.milkv_sim Cat.milkv_hw;
+      ];
+  }
+
+let fig5 ?(scale = 1.0) () =
+  app_pair_figure ~id:"fig5" ~title:"UME: FireSim models vs hardware" Workloads.Ume.app ~scale
+
+let fig6 ?(scale = 1.0) () =
+  app_pair_figure ~id:"fig6" ~title:"LAMMPS Lennard-Jones: FireSim models vs hardware"
+    Workloads.Lammps.lj ~scale
+
+let fig7 ?(scale = 1.0) () =
+  app_pair_figure ~id:"fig7" ~title:"LAMMPS Chain: FireSim models vs hardware"
+    Workloads.Lammps.chain ~scale
+
+let app_runtime_table ?(scale = 1.0) (app : W.app) =
+  let platforms = [ Cat.banana_pi_hw; Cat.banana_pi_sim; Cat.milkv_hw; Cat.milkv_sim ] in
+  let t = Report.Table.create ~headers:[ "Platform"; "1 rank"; "2 ranks"; "4 ranks" ] in
+  List.iter
+    (fun (p : Platform.Config.t) ->
+      let cell ranks =
+        (* sim models run the FireSim-image binary, boards the native one *)
+        let codegen =
+          if String.length p.Platform.Config.name >= 3 && String.sub p.Platform.Config.name (String.length p.Platform.Config.name - 3) 3 = "-hw"
+          then Workloads.Codegen.gcc_13_2
+          else Workloads.Codegen.gcc_9_4
+        in
+        let r = Runner.run_app ~scale ~codegen ~ranks p app in
+        Printf.sprintf "%.4f s" r.Platform.Soc.seconds
+      in
+      Report.Table.add_row t [ p.name; cell 1; cell 2; cell 4 ])
+    platforms;
+  Printf.sprintf "%s: absolute target runtimes\n" app.app_name ^ Report.Table.render t
+
+(* ------------------------------------------------------------ ablations *)
+
+let ablation_l1 ?(scale = 4.0) () =
+  (* The paper's mechanism needs CG's gathered vector to sit between the
+     two L1 capacities: at scale 4 the direction vector is ~45 KiB —
+     spilling a 32 KiB L1, fitting a 64 KiB one (class A's n = 14000 had
+     the same relationship to these caches). *)
+  let base = Cat.boom_large in
+  let big_l1 = Cache.config ~name:"l1d" ~sets:128 ~ways:8 ~hit_latency:3 ~mshrs:6 () in
+  let tuned = { base with Platform.Config.name = "boom-large-64k"; l1d = big_l1; l1i = big_l1 } in
+  let r32 = Runner.run_app ~scale ~ranks:1 base Npb.cg in
+  let r64 = Runner.run_app ~scale ~ranks:1 tuned Npb.cg in
+  let reduction =
+    (r32.Platform.Soc.seconds -. r64.Platform.Soc.seconds) /. r32.Platform.Soc.seconds *. 100.0
+  in
+  let miss_cut =
+    float_of_int (r32.Platform.Soc.l1d_misses - r64.Platform.Soc.l1d_misses)
+    /. float_of_int (max 1 r32.Platform.Soc.l1d_misses)
+    *. 100.0
+  in
+  let t = Report.Table.create ~headers:[ "Config"; "CG runtime (s)"; "L1D misses" ] in
+  Report.Table.add_row t
+    [ "Large BOOM, 32 KiB L1"; Printf.sprintf "%.5f" r32.Platform.Soc.seconds; string_of_int r32.l1d_misses ];
+  Report.Table.add_row t
+    [ "Large BOOM, 64 KiB L1"; Printf.sprintf "%.5f" r64.Platform.Soc.seconds; string_of_int r64.l1d_misses ];
+  Printf.sprintf
+    "Ablation A1 (L1 32->64 KiB on CG): misses cut %.0f%%, runtime cut %.1f%% (paper: ~27.7%% runtime).\n\
+     The capacity effect reproduces (the direction vector fits the larger L1); the runtime\n\
+     sensitivity is muted here because the analytic BOOM overlaps L1 misses across independent\n\
+     rows, where the RTL pays more of that latency.\n"
+    miss_cut reduction
+  ^ Report.Table.render t
+
+let ablation_clock ?(scale = 1.0) () =
+  let categories = W.all_categories in
+  let rel_of sim k = Runner.kernel_relative ~scale ~sim ~hw:Cat.banana_pi_hw k in
+  let t = Report.Table.create ~headers:[ "Category"; "1.6 GHz geomean"; "3.2 GHz geomean" ] in
+  List.iter
+    (fun cat ->
+      let kernels = List.filter (fun (k : W.kernel) -> not k.excluded) (Mb.by_category cat) in
+      let g sim =
+        Util.Stats.geomean (Array.of_list (List.map (rel_of sim) kernels))
+      in
+      Report.Table.add_row t
+        [
+          W.category_name cat;
+          Report.Table.cell_f (g Cat.banana_pi_sim);
+          Report.Table.cell_f (g Cat.fast_banana_pi_sim);
+        ])
+    categories;
+  "Ablation A2 (clock doubling, per-category geomean relative speedup vs Banana Pi HW)\n"
+  ^ Report.Table.render t
+
+let ablation_bus ?(scale = 1.0) () =
+  let kernels = [ Mb.find "ML2_BW_ld"; Mb.find "ML2_BW_st"; Mb.find "MM" ] in
+  let configs = [ Cat.rocket1; Cat.rocket2; Cat.banana_pi_sim ] in
+  let t = Report.Table.create ~headers:("Kernel" :: List.map (fun (c : Platform.Config.t) -> c.name) configs) in
+  List.iter
+    (fun (k : W.kernel) ->
+      Report.Table.add_row t
+        (k.name
+        :: List.map
+             (fun c ->
+               let r = Runner.run_kernel ~scale c k in
+               Printf.sprintf "%.0f cyc" (float_of_int r.Platform.Soc.cycles))
+             configs))
+    kernels;
+  "Ablation A3 (L2 banks 1->4, bus 64->128 bit; lower is faster)\n" ^ Report.Table.render t
+
+let ablation_tlb ?(scale = 0.5) () =
+  (* How much do the Table 5 translation structures matter?  Run the
+     DRAM-chase kernel (TLB-hostile: one new page per hop) with the
+     FireSim Rocket TLB (32-entry, no L2), the FireSim BOOM TLB (+1024
+     L2) and an idealized TLB. *)
+  let mm = Mb.find "MM" in
+  let base = Cat.banana_pi_sim in
+  let variant name tlb = { base with Platform.Config.name; dtlb = tlb; itlb = tlb } in
+  let huge =
+    Platform.Tlb.config ~name:"ideal" ~l1_entries:1024 ~l2_entries:65536 ~walk_latency:8 ()
+  in
+  let t = Report.Table.create ~headers:[ "TLB"; "MM cycles"; "walks" ] in
+  List.iter
+    (fun (label, cfg) ->
+      let r = Runner.run_kernel ~scale cfg mm in
+      Report.Table.add_row t
+        [ label; string_of_int r.Platform.Soc.cycles; string_of_int r.Platform.Soc.tlb_walks ])
+    [
+      ("32-entry L1 only (Rocket model)", variant "tlb-rocket" Platform.Tlb.firesim_rocket);
+      ("32-entry L1 + 1024 L2 (BOOM model)", variant "tlb-boom" Platform.Tlb.firesim_boom);
+      ("idealized", variant "tlb-ideal" huge);
+    ];
+  "Ablation A4 (TLB geometry on the DRAM-chase kernel)\n" ^ Report.Table.render t
+
+let ablation_prefetch ?(scale = 1.0) () =
+  (* Modeling ablation (DESIGN.md 3b): without the L2 stream prefetcher,
+     MG's stencil streams serialize on the conservative DDR3 latency and
+     the Banana Pi comparison collapses far below what the paper
+     measured; with it, streams are bandwidth-coupled. *)
+  let strip (c : Platform.Config.t) =
+    {
+      c with
+      Platform.Config.name = c.name ^ "-nopf";
+      l2 = { c.l2 with Cache.prefetch_next = 0 };
+    }
+  in
+  let t =
+    Report.Table.create
+      ~headers:[ "L2 prefetcher"; "t_sim (ms)"; "t_hw (ms)"; "MG relative (BPi pair)" ]
+  in
+  let row label sim hw =
+    let s = Runner.run_app ~scale ~codegen:Workloads.Codegen.gcc_9_4 ~ranks:1 sim Npb.mg in
+    let h = Runner.run_app ~scale ~codegen:Workloads.Codegen.gcc_13_2 ~ranks:1 hw Npb.mg in
+    Report.Table.add_row t
+      [
+        label;
+        Printf.sprintf "%.3f" (s.Platform.Soc.seconds *. 1e3);
+        Printf.sprintf "%.3f" (h.Platform.Soc.seconds *. 1e3);
+        Report.Table.cell_f (Runner.relative_speedup ~sim:s ~hw:h);
+      ]
+  in
+  row "on (both sides)" Cat.banana_pi_sim Cat.banana_pi_hw;
+  row "off (both sides)" (strip Cat.banana_pi_sim) (strip Cat.banana_pi_hw);
+  "Ablation A5 (stream prefetcher as a modeling choice)\n" ^ Report.Table.render t
+
+let ablation_quantum ?(scale = 1.0) () =
+  (* Modeling ablation (DESIGN.md 3b): the co-simulation quantum bounds
+     the timestamp skew shared resources observe.  Large quanta inflate
+     multicore runtimes with spurious serialization. *)
+  let t = Report.Table.create ~headers:[ "Quantum (cycles)"; "CG 4-rank cycles" ] in
+  List.iter
+    (fun q ->
+      let soc = Platform.Soc.create Cat.banana_pi_sim in
+      let prog = Npb.cg_program ~ranks:4 ~scale () in
+      let r = Platform.Soc.run_ranks ~quantum:q soc prog in
+      Report.Table.add_row t [ string_of_int q; string_of_int r.Platform.Soc.cycles ])
+    [ 50; 100; 500; 2000; 10000 ];
+  "Ablation A6 (co-simulation quantum; smaller = tighter lockstep)\n" ^ Report.Table.render t
+
+let simrate ?(scale = 1.0) () =
+  let rocket_run = Runner.run_app ~scale ~ranks:1 Cat.banana_pi_sim Npb.ep in
+  let boom_run = Runner.run_app ~scale ~ranks:1 Cat.milkv_sim Npb.ep in
+  let rocket_rep =
+    Firesim.Host.report Firesim.Host.u250_rocket ~target_freq_hz:1.6e9 rocket_run
+  in
+  let boom_rep = Firesim.Host.report Firesim.Host.u250_boom ~target_freq_hz:2.0e9 boom_run in
+  Format.asprintf
+    "FireSim host simulation rates (EP, 1 rank)@.@.Rocket target:@.%a@.@.BOOM target:@.%a@.@.paper: ~60 MHz / ~25x (Rocket), ~15 MHz / ~135x (BOOM)@."
+    Firesim.Host.pp_report rocket_rep Firesim.Host.pp_report boom_rep
+
+let multinode ?(scale = 1.0) () =
+  (* The paper's §7 future work: distributed runs over FireSim's network
+     simulation (the BxE environment hosts up to 8 nodes). *)
+  String.concat "\n"
+    [
+      Firesim.Multinode.scaling_table ~scale Cat.banana_pi_sim Npb.ep;
+      Firesim.Multinode.scaling_table ~scale Cat.banana_pi_sim Npb.cg;
+    ]
+
+(* ------------------------------------------------------------- registry *)
+
+let render_figures figs = String.concat "\n" (List.map render_figure figs)
+
+let all =
+  [
+    ("table1", "MicroBench kernel inventory", table1);
+    ("table2", "NPB application selection", table2);
+    ("table3", "compiler (codegen) settings", table3);
+    ("table4", "FireSim model configurations", table4);
+    ("table5", "hardware vs simulation-model specs", table5);
+    ("fig1", "MicroBench: Rocket vs Banana Pi", fun () -> render_figure (fig1 ()));
+    ("fig2", "MicroBench: BOOM vs MILK-V", fun () -> render_figure (fig2 ()));
+    ("fig3", "NPB on Rocket configs (1 and 4 cores)", fun () -> render_figures (fig3 ()));
+    ("fig4", "NPB on BOOM configs (stock and tuned)", fun () -> render_figures (fig4 ()));
+    ("fig5", "UME relative speedup", fun () -> render_figure (fig5 ()));
+    ("fig6", "LAMMPS LJ relative speedup", fun () -> render_figure (fig6 ()));
+    ("fig7", "LAMMPS Chain relative speedup", fun () -> render_figure (fig7 ()));
+    ( "runtimes",
+      "absolute runtimes for UME and LAMMPS",
+      fun () ->
+        String.concat "\n"
+          (List.map app_runtime_table [ Workloads.Ume.app; Workloads.Lammps.lj; Workloads.Lammps.chain ]) );
+    ("ablate-l1", "L1 32->64 KiB on CG", fun () -> ablation_l1 ());
+    ("ablate-clock", "clock doubling per category", fun () -> ablation_clock ());
+    ("ablate-bus", "L2 banks / bus width", fun () -> ablation_bus ());
+    ("ablate-tlb", "TLB geometry on the DRAM chase", fun () -> ablation_tlb ());
+    ("ablate-prefetch", "modeling: L2 stream prefetcher", fun () -> ablation_prefetch ());
+    ("ablate-quantum", "modeling: co-simulation quantum", fun () -> ablation_quantum ());
+    ("simrate", "FireSim host simulation rate", fun () -> simrate ());
+    ("multinode", "future work: 1-8 node scale-out simulation", fun () -> multinode ());
+  ]

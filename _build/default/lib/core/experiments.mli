@@ -1,0 +1,89 @@
+(** The experiment registry: one entry per table and figure of the paper,
+    plus the ablations called out in DESIGN.md.
+
+    Figure functions run the required simulations and return structured
+    series; [render_figure] turns one into an ASCII chart + data table.
+    The [scale] argument shrinks or grows workload sizes (1.0 = the
+    defaults documented in the workloads library). *)
+
+type series = {
+  label : string;
+  points : (string * float) list;  (** (x label, relative speedup) *)
+}
+
+type figure = {
+  id : string;
+  title : string;
+  note : string;
+  reference : float option;  (** target line, 1.0 for relative speedups *)
+  series : series list;
+}
+
+val render_figure : figure -> string
+val figure_csv : figure -> string
+
+(* Tables 1-5 are descriptive: they render the suite / platform catalog. *)
+val table1 : unit -> string
+val table2 : unit -> string
+val table3 : unit -> string
+val table4 : unit -> string
+val table5 : unit -> string
+
+val fig1 : ?scale:float -> unit -> figure
+(** MicroBench on Banana Pi Sim Model and Fast model vs Banana Pi HW. *)
+
+val fig2 : ?scale:float -> unit -> figure
+(** MicroBench on Small/Medium/Large BOOM and MILK-V Sim Model vs MILK-V
+    HW. *)
+
+val fig3 : ?scale:float -> unit -> figure list
+(** NPB on the Rocket-family configs vs Banana Pi HW; [single; four]. *)
+
+val fig4 : ?scale:float -> unit -> figure list
+(** NPB on BOOM configs vs MILK-V HW; [(a) stock BOOMs; (b) tuned model
+    1 and 4 ranks]. *)
+
+val fig5 : ?scale:float -> unit -> figure
+(** UME relative speedup over 1/2/4 ranks, both platform pairs. *)
+
+val fig6 : ?scale:float -> unit -> figure
+(** LAMMPS Lennard-Jones. *)
+
+val fig7 : ?scale:float -> unit -> figure
+(** LAMMPS Chain. *)
+
+val app_runtime_table : ?scale:float -> Workloads.Workload.app -> string
+(** Absolute target runtimes (seconds) for 1/2/4 ranks on all four
+    platforms — the numbers quoted in §5.3/§5.4. *)
+
+val ablation_l1 : ?scale:float -> unit -> string
+(** §5.2.2: Large BOOM with 32 vs 64 KiB L1 on CG (expected ~25-30%
+    runtime reduction). *)
+
+val ablation_clock : ?scale:float -> unit -> string
+(** §5.1: per-category MicroBench geomean at 1.6 vs 3.2 GHz. *)
+
+val ablation_bus : ?scale:float -> unit -> string
+(** §4: L2 banks 1 -> 4 and bus 64 -> 128 bit across Rocket configs. *)
+
+val ablation_tlb : ?scale:float -> unit -> string
+(** Table 5's translation structures on the DRAM-chase kernel: FireSim
+    Rocket TLB vs FireSim BOOM TLB vs an idealized TLB. *)
+
+val ablation_prefetch : ?scale:float -> unit -> string
+(** Modeling choice: the L2 stream prefetcher on vs off (MG, Banana Pi
+    pair). *)
+
+val ablation_quantum : ?scale:float -> unit -> string
+(** Modeling choice: the multicore co-simulation quantum (CG, 4 ranks). *)
+
+val simrate : ?scale:float -> unit -> string
+(** §3.2.2: FireSim host simulation rate and slowdown for a Rocket and a
+    BOOM target. *)
+
+val multinode : ?scale:float -> unit -> string
+(** §7 future work: strong scaling of EP and CG over 1-8 simulated nodes
+    connected by a FireSim-style switch ({!Firesim.Multinode}). *)
+
+val all : (string * string * (unit -> string)) list
+(** (id, description, render) for every experiment, in paper order. *)

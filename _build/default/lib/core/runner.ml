@@ -1,0 +1,63 @@
+let log = Logs.Src.create "simbridge.runner" ~doc:"workload runs"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+let run_kernel ?(scale = 1.0) config (kernel : Workloads.Workload.kernel) =
+  Log.info (fun m ->
+      m "kernel %s on %s (scale %.2f)" kernel.Workloads.Workload.name config.Platform.Config.name
+        scale);
+  let soc = Platform.Soc.create config in
+  (* Setup (working-set initialization) runs on the same SoC but is not
+     timed: only the measured stream's cycle delta is reported, as when a
+     benchmark wraps its measured region in timers. *)
+  let before =
+    match kernel.Workloads.Workload.setup with
+    | None -> None
+    | Some setup -> Some (Platform.Soc.run_stream soc (setup ~scale))
+  in
+  let r = Platform.Soc.run_stream soc (kernel.Workloads.Workload.stream ~scale) in
+  match before with
+  | None -> r
+  | Some b ->
+    (* Report only the measured region: every cumulative counter is
+       differenced against the post-setup snapshot. *)
+    let freq = Platform.Config.freq_hz config in
+    let cycles = r.Platform.Soc.cycles - b.Platform.Soc.cycles in
+    {
+      r with
+      Platform.Soc.cycles;
+      seconds = Util.Units.cycles_to_seconds ~freq_hz:freq cycles;
+      instructions = r.Platform.Soc.instructions - b.Platform.Soc.instructions;
+      l1d_misses = r.Platform.Soc.l1d_misses - b.Platform.Soc.l1d_misses;
+      l1d_accesses = r.Platform.Soc.l1d_accesses - b.Platform.Soc.l1d_accesses;
+      l2_misses = r.Platform.Soc.l2_misses - b.Platform.Soc.l2_misses;
+      l2_accesses = r.Platform.Soc.l2_accesses - b.Platform.Soc.l2_accesses;
+      dram_requests = r.Platform.Soc.dram_requests - b.Platform.Soc.dram_requests;
+      tlb_walks = r.Platform.Soc.tlb_walks - b.Platform.Soc.tlb_walks;
+    }
+
+let run_app ?(scale = 1.0) ?(codegen = Workloads.Codegen.default) ~ranks config
+    (app : Workloads.Workload.app) =
+  Log.info (fun m ->
+      m "app %s x%d on %s (scale %.2f, %s)" app.Workloads.Workload.app_name ranks
+        config.Platform.Config.name scale codegen.Workloads.Codegen.name);
+  let soc = Platform.Soc.create config in
+  Platform.Soc.run_ranks soc (app.Workloads.Workload.make ~codegen ~ranks ~scale)
+
+let relative_speedup ~(sim : Platform.Soc.result) ~(hw : Platform.Soc.result) =
+  if sim.Platform.Soc.seconds <= 0.0 then invalid_arg "relative_speedup: empty simulation run";
+  hw.Platform.Soc.seconds /. sim.Platform.Soc.seconds
+
+let kernel_relative ?scale ~sim ~hw kernel =
+  let s = run_kernel ?scale sim kernel in
+  let h = run_kernel ?scale hw kernel in
+  relative_speedup ~sim:s ~hw:h
+
+let app_relative ?scale ?(mismatched_codegen = true) ~ranks ~sim ~hw app =
+  (* The paper's setup (Table 3): the FireSim image carries GCC 9.4
+     binaries, the boards GCC 13.2 ones. *)
+  let sim_cg = if mismatched_codegen then Workloads.Codegen.gcc_9_4 else Workloads.Codegen.default in
+  let hw_cg = if mismatched_codegen then Workloads.Codegen.gcc_13_2 else Workloads.Codegen.default in
+  let s = run_app ?scale ~codegen:sim_cg ~ranks sim app in
+  let h = run_app ?scale ~codegen:hw_cg ~ranks hw app in
+  relative_speedup ~sim:s ~hw:h

@@ -1,0 +1,46 @@
+(** Running workloads on platforms and comparing the results.
+
+    This is the paper's measurement harness: run the identical instruction
+    stream on a simulation-model platform and on its silicon-reference
+    platform, then report the relative speedup
+
+      rel = t_hardware / t_simulated
+
+    so that 1.0 is a perfect match and 1.2 means the simulation ran 20%
+    faster than the hardware (the paper's convention, §5). *)
+
+val run_kernel :
+  ?scale:float -> Platform.Config.t -> Workloads.Workload.kernel -> Platform.Soc.result
+(** Run a microbenchmark on core 0 of a fresh SoC. *)
+
+val run_app :
+  ?scale:float ->
+  ?codegen:Workloads.Codegen.t ->
+  ranks:int ->
+  Platform.Config.t ->
+  Workloads.Workload.app ->
+  Platform.Soc.result
+(** Run an MPI application with [ranks] ranks on a fresh SoC, built with
+    the given compiler quality (default {!Workloads.Codegen.default}). *)
+
+val relative_speedup : sim:Platform.Soc.result -> hw:Platform.Soc.result -> float
+(** t_hw / t_sim in target seconds (clock-aware, not cycle counts). *)
+
+val kernel_relative :
+  ?scale:float ->
+  sim:Platform.Config.t ->
+  hw:Platform.Config.t ->
+  Workloads.Workload.kernel ->
+  float
+
+val app_relative :
+  ?scale:float ->
+  ?mismatched_codegen:bool ->
+  ranks:int ->
+  sim:Platform.Config.t ->
+  hw:Platform.Config.t ->
+  Workloads.Workload.app ->
+  float
+(** With [mismatched_codegen] (default true, as in the paper's Table 3)
+    the simulation side runs the GCC 9.4 scalar binary while the silicon
+    side runs the GCC 13.2 vectorizing one. *)

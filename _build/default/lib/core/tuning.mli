@@ -1,0 +1,84 @@
+(** Microbenchmark-guided model tuning — the paper's §4 methodology as a
+    library.
+
+    Given a set of candidate simulation configurations and a silicon
+    reference, run the MicroBench suite on each and score how far each
+    candidate's performance profile is from the hardware.  The distance is
+    the mean absolute log relative speedup,
+
+      d = mean_k | ln (t_hw(k) / t_sim(k)) |
+
+    which is 0 for a perfect match and symmetric in over-/under-shoot.
+    [rank_candidates] reproduces the paper's selection of Large BOOM for
+    the MILK-V, and [sweep_frequency] reproduces the Fast Banana Pi Sim
+    Model experiment (clock scaling as a stand-in for issue width). *)
+
+type score = {
+  candidate : Platform.Config.t;
+  distance : float;
+  per_category : (Workloads.Workload.category * float) list;
+      (** geomean relative speedup per category *)
+}
+
+val distance :
+  ?scale:float ->
+  ?kernels:Workloads.Workload.kernel list ->
+  sim:Platform.Config.t ->
+  hw:Platform.Config.t ->
+  unit ->
+  float
+
+val score :
+  ?scale:float ->
+  ?kernels:Workloads.Workload.kernel list ->
+  sim:Platform.Config.t ->
+  hw:Platform.Config.t ->
+  unit ->
+  score
+
+val rank_candidates :
+  ?scale:float ->
+  ?kernels:Workloads.Workload.kernel list ->
+  candidates:Platform.Config.t list ->
+  hw:Platform.Config.t ->
+  unit ->
+  score list
+(** Sorted best (smallest distance) first. *)
+
+val sweep_frequency :
+  base:Platform.Config.t -> multipliers:float list -> Platform.Config.t list
+(** Clock-scaling candidates named "<base>@x<m>". *)
+
+(** A tunable dimension for {!grid_search}: a name, the list of candidate
+    values, and how to apply one value to a configuration. *)
+type dimension = {
+  dim_name : string;
+  values : float list;
+  apply : Platform.Config.t -> float -> Platform.Config.t;
+}
+
+val dim_frequency : float list -> dimension
+(** Core clock multipliers (the Fast-model axis). *)
+
+val dim_dram_ctrl : float list -> dimension
+(** Multipliers on the DRAM controller latency (the token-path
+    conservatism axis). *)
+
+val dim_l2_latency : float list -> dimension
+(** Multipliers on the shared L2 hit latency. *)
+
+val grid_search :
+  ?scale:float ->
+  ?kernels:Workloads.Workload.kernel list ->
+  base:Platform.Config.t ->
+  hw:Platform.Config.t ->
+  dimensions:dimension list ->
+  unit ->
+  score list
+(** Exhaustive sweep over the Cartesian product of the dimensions,
+    scoring every combination against [hw] with the MicroBench distance;
+    sorted best first.  This automates the paper's manual §4 loop
+    ("tuned the micro-architectural parameters to more closely replicate
+    the behaviour of the target processor"). *)
+
+val render_scores : score list -> string

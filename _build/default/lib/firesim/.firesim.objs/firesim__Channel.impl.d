@@ -1,0 +1,1 @@
+lib/firesim/channel.ml: Queue

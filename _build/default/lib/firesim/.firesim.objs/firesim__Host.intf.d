@@ -1,0 +1,1 @@
+lib/firesim/host.mli: Format Platform

@@ -1,0 +1,1 @@
+lib/firesim/multinode.ml: Array Float List Option Platform Printf Report Smpi Util Workloads

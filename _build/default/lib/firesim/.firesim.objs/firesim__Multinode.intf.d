@@ -1,0 +1,1 @@
+lib/firesim/multinode.mli: Platform Smpi Workloads

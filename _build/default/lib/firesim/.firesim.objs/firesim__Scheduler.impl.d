@@ -1,0 +1,1 @@
+lib/firesim/scheduler.ml: Array Channel List String Util

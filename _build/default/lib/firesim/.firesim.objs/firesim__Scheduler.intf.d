@@ -1,0 +1,1 @@
+lib/firesim/scheduler.mli: Channel Util

@@ -1,0 +1,25 @@
+type 'a t = {
+  q : 'a Queue.t;
+  cap : int;
+  mutable enqueued : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Channel.create: capacity";
+  { q = Queue.create (); cap = capacity; enqueued = 0 }
+
+let capacity t = t.cap
+let occupancy t = Queue.length t.q
+let can_enqueue t = Queue.length t.q < t.cap
+let can_dequeue t = not (Queue.is_empty t.q)
+
+let enqueue t x =
+  if not (can_enqueue t) then invalid_arg "Channel.enqueue: full";
+  Queue.push x t.q;
+  t.enqueued <- t.enqueued + 1
+
+let dequeue t =
+  if Queue.is_empty t.q then invalid_arg "Channel.dequeue: empty";
+  Queue.pop t.q
+
+let total_enqueued t = t.enqueued

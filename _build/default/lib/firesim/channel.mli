@@ -1,0 +1,31 @@
+(** Bounded token channels — FireSim's host-decoupling primitive.
+
+    In FireSim, target models advance one target cycle only when a token is
+    available on every input channel and there is room for a token on every
+    output channel; this is what makes an FPGA-hosted simulation cycle-exact
+    regardless of host scheduling.  This module reproduces that protocol so
+    the {!Scheduler} can co-simulate decoupled models deterministically, and
+    so the unit tests can demonstrate the central property: token-based
+    execution produces the same target-cycle results for any host
+    interleaving. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** A channel holding at most [capacity] in-flight tokens. *)
+
+val capacity : 'a t -> int
+val occupancy : 'a t -> int
+val can_enqueue : 'a t -> bool
+val can_dequeue : 'a t -> bool
+
+val enqueue : 'a t -> 'a -> unit
+(** Raises [Invalid_argument] when full — models must check
+    [can_enqueue]. *)
+
+val dequeue : 'a t -> 'a
+(** Raises [Invalid_argument] when empty. *)
+
+val total_enqueued : 'a t -> int
+(** Tokens ever enqueued: the number of target cycles the producer has
+    committed. *)

@@ -1,0 +1,49 @@
+type config = {
+  name : string;
+  host_freq_hz : float;
+  base_fmr : float;
+  dram_stall_host_cycles : float;
+}
+
+(* Base FMRs chosen to land at the simulation rates the paper reports:
+   90 MHz shell / 1.5 = 60 MHz for Rocket; 90 MHz / 6.0 = 15 MHz for
+   BOOM.  DRAM token stalls push the effective FMR above base under
+   memory-heavy load. *)
+
+let u250_rocket =
+  { name = "alveo-u250/rocket"; host_freq_hz = 90.0e6; base_fmr = 1.5; dram_stall_host_cycles = 18.0 }
+
+let u250_boom =
+  { name = "alveo-u250/boom"; host_freq_hz = 90.0e6; base_fmr = 6.0; dram_stall_host_cycles = 18.0 }
+
+type report = {
+  target_cycles : int;
+  target_seconds : float;
+  host_seconds : float;
+  effective_fmr : float;
+  target_mhz : float;
+  slowdown : float;
+}
+
+let report cfg ~target_freq_hz (r : Platform.Soc.result) =
+  let target_cycles = r.Platform.Soc.cycles in
+  let host_cycles =
+    (float_of_int target_cycles *. cfg.base_fmr)
+    +. (float_of_int r.Platform.Soc.dram_requests *. cfg.dram_stall_host_cycles)
+  in
+  let host_seconds = host_cycles /. cfg.host_freq_hz in
+  let target_seconds = float_of_int target_cycles /. target_freq_hz in
+  let effective_fmr = if target_cycles = 0 then cfg.base_fmr else host_cycles /. float_of_int target_cycles in
+  {
+    target_cycles;
+    target_seconds;
+    host_seconds;
+    effective_fmr;
+    target_mhz = (if host_seconds = 0.0 then 0.0 else float_of_int target_cycles /. host_seconds /. 1e6);
+    slowdown = (if target_seconds = 0.0 then 0.0 else host_seconds /. target_seconds);
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>target cycles : %d@,target time   : %.4f s@,host time     : %.4f s@,effective FMR : %.2f@,sim rate      : %.1f MHz@,slowdown      : %.0fx@]"
+    r.target_cycles r.target_seconds r.host_seconds r.effective_fmr r.target_mhz r.slowdown

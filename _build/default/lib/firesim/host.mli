@@ -1,0 +1,39 @@
+(** Host-platform model: how fast does the FPGA simulate the target?
+
+    FireSim hosts target designs on FPGAs; the achieved simulation rate
+    (target MHz) is the host clock divided by the FPGA-to-Model cycle
+    Ratio (FMR).  The FMR has a base component (how many host cycles one
+    target cycle of the synthesized design needs — larger designs close
+    timing at lower effective rates) plus stalls injected by the
+    token-based DRAM/LLC timing models, which deliberately withhold tokens
+    to enforce target memory timing.  The paper reports ~60 MHz for Rocket
+    targets (~25x slowdown vs a 1.6 GHz part) and ~15 MHz for BOOM
+    (~135x vs 2.0 GHz); this module reproduces those figures from a
+    {!Platform.Soc.result}. *)
+
+type config = {
+  name : string;
+  host_freq_hz : float;  (** FPGA shell clock *)
+  base_fmr : float;  (** host cycles per target cycle, unstalled *)
+  dram_stall_host_cycles : float;  (** extra host cycles per DRAM request *)
+}
+
+val u250_rocket : config
+(** Alveo U250 hosting a Rocket-based target (~60 MHz). *)
+
+val u250_boom : config
+(** Alveo U250 hosting a BOOM-based target (~15 MHz: bigger design, lower
+    host utilization). *)
+
+type report = {
+  target_cycles : int;
+  target_seconds : float;
+  host_seconds : float;
+  effective_fmr : float;
+  target_mhz : float;
+  slowdown : float;  (** host_seconds / target_seconds *)
+}
+
+val report : config -> target_freq_hz:float -> Platform.Soc.result -> report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,136 @@
+type config = {
+  nodes : int;
+  ranks_per_node : int;
+  platform : Platform.Config.t;
+  link_latency_us : float;
+  link_bandwidth_gbps : float;
+}
+
+let default ?(nodes = 2) ?ranks_per_node platform =
+  {
+    nodes;
+    ranks_per_node = Option.value ranks_per_node ~default:platform.Platform.Config.cores;
+    platform;
+    link_latency_us = 2.0;
+    link_bandwidth_gbps = 200.0;
+  }
+
+type result = {
+  ranks : int;
+  cycles : int;
+  seconds : float;
+  per_node : Platform.Soc.result array;
+  comm : Smpi.comm_stats;
+  internode_messages : int;
+  internode_bytes : int;
+}
+
+(* The switch: a single shared resource regulating inter-node bytes, like
+   FireSim's token-based network model.  Timestamped in target cycles. *)
+type switch = {
+  mutable free_at : int;
+  bytes_per_cycle : float;
+  latency_cycles : int;
+  mutable n_messages : int;
+  mutable n_bytes : int;
+}
+
+let switch_transfer sw ~cycle ~bytes =
+  let start = max cycle sw.free_at in
+  let duration = max 1 (int_of_float (Float.ceil (float_of_int bytes /. sw.bytes_per_cycle))) in
+  let finish = start + sw.latency_cycles + duration in
+  (* The link is occupied for the transfer duration, not the flight
+     latency. *)
+  sw.free_at <- start + duration;
+  sw.n_messages <- sw.n_messages + 1;
+  sw.n_bytes <- sw.n_bytes + bytes;
+  finish
+
+let run ?quantum cfg program =
+  if cfg.nodes <= 0 then invalid_arg "Multinode.run: nodes";
+  if cfg.ranks_per_node <= 0 || cfg.ranks_per_node > cfg.platform.Platform.Config.cores then
+    invalid_arg "Multinode.run: ranks_per_node";
+  let nranks = Array.length program in
+  if nranks <> cfg.nodes * cfg.ranks_per_node then
+    invalid_arg
+      (Printf.sprintf "Multinode.run: program has %d ranks, topology needs %d" nranks
+         (cfg.nodes * cfg.ranks_per_node));
+  let socs = Array.init cfg.nodes (fun _ -> Platform.Soc.create cfg.platform) in
+  let node_of r = r / cfg.ranks_per_node in
+  let ifaces =
+    Array.init nranks (fun r -> Platform.Soc.core_iface socs.(node_of r) (r mod cfg.ranks_per_node))
+  in
+  let freq = Platform.Config.freq_hz cfg.platform in
+  let sw =
+    {
+      free_at = 0;
+      bytes_per_cycle = cfg.link_bandwidth_gbps *. 1e9 /. 8.0 /. freq;
+      latency_cycles = Util.Units.ns_to_cycles ~freq_hz:freq (cfg.link_latency_us *. 1000.0);
+      n_messages = 0;
+      n_bytes = 0;
+    }
+  in
+  let fabric =
+    {
+      Smpi.latency_cycles = Platform.Soc.mpi_latency_cycles socs.(0);
+      transfer =
+        (fun ~src ~dst ~cycle ~bytes ->
+          if node_of src = node_of dst then
+            Platform.Soc.local_transfer socs.(node_of src) ~cycle ~bytes
+          else begin
+            (* NIC out through the source node's bus, the switch hop, and
+               NIC in through the destination's bus. *)
+            let t1 = Platform.Soc.local_transfer socs.(node_of src) ~cycle ~bytes in
+            let t2 = switch_transfer sw ~cycle:t1 ~bytes in
+            Platform.Soc.local_transfer socs.(node_of dst) ~cycle:t2 ~bytes
+          end);
+    }
+  in
+  let comm = Smpi.Engine.run ?quantum fabric ifaces program in
+  let per_node =
+    Array.mapi
+      (fun n soc ->
+        let ranks_here = min cfg.ranks_per_node (nranks - (n * cfg.ranks_per_node)) in
+        Platform.Soc.collect_result soc ~ranks:ranks_here ~comm:None)
+      socs
+  in
+  let cycles = Array.fold_left (fun acc (r : Platform.Soc.result) -> max acc r.cycles) 0 per_node in
+  {
+    ranks = nranks;
+    cycles;
+    seconds = Util.Units.cycles_to_seconds ~freq_hz:freq cycles;
+    per_node;
+    comm;
+    internode_messages = sw.n_messages;
+    internode_bytes = sw.n_bytes;
+  }
+
+let run_app ?(scale = 1.0) ?(codegen = Workloads.Codegen.default) cfg app =
+  let ranks = cfg.nodes * cfg.ranks_per_node in
+  run cfg (app.Workloads.Workload.make ~codegen ~ranks ~scale)
+
+let scaling_table ?(scale = 1.0) ?(node_counts = [ 1; 2; 4; 8 ]) platform app =
+  let t =
+    Report.Table.create
+      ~headers:[ "Nodes"; "Ranks"; "Time (ms)"; "Speedup"; "Efficiency"; "Inter-node MB" ]
+  in
+  let base = ref None in
+  List.iter
+    (fun nodes ->
+      let cfg = default ~nodes platform in
+      let r = run_app ~scale cfg app in
+      let t1 = match !base with None -> base := Some r.seconds; r.seconds | Some t1 -> t1 in
+      let speedup = t1 /. r.seconds in
+      Report.Table.add_row t
+        [
+          string_of_int nodes;
+          string_of_int r.ranks;
+          Printf.sprintf "%.3f" (r.seconds *. 1e3);
+          Printf.sprintf "%.2f" speedup;
+          Printf.sprintf "%.0f%%" (speedup /. float_of_int nodes *. 100.0);
+          Printf.sprintf "%.2f" (float_of_int r.internode_bytes /. 1e6);
+        ])
+    node_counts;
+  Printf.sprintf "%s: strong scaling over FireSim-style multi-node simulation (%s)\n"
+    app.Workloads.Workload.app_name platform.Platform.Config.name
+  ^ Report.Table.render t

@@ -1,0 +1,53 @@
+(** Multi-node FireSim simulation — the paper's §7 future work.
+
+    FireSim's defining capability is scale-out simulation: several
+    simulated SoCs connected through a simulated Ethernet switch, each
+    link modeled with a fixed latency and a token-regulated bandwidth.
+    This module composes [nodes] independent {!Platform.Soc} instances
+    (each with its own caches, bus and DRAM) and runs one MPI program
+    whose ranks are block-distributed across them: ranks on the same node
+    communicate through that node's shared bus, ranks on different nodes
+    pay NIC + switch latency and contend for switch bandwidth.
+
+    The BxE environment the paper targets hosts up to 8 nodes; the
+    defaults below follow FireSim's published network parameters
+    (2 us link latency, 200 Gb/s links). *)
+
+type config = {
+  nodes : int;
+  ranks_per_node : int;
+  platform : Platform.Config.t;  (** every node runs this SoC *)
+  link_latency_us : float;
+  link_bandwidth_gbps : float;
+}
+
+val default : ?nodes:int -> ?ranks_per_node:int -> Platform.Config.t -> config
+(** 2 us / 200 Gb/s links; [nodes] defaults to 2, [ranks_per_node] to the
+    platform's core count. *)
+
+type result = {
+  ranks : int;
+  cycles : int;  (** completion cycle of the slowest rank *)
+  seconds : float;
+  per_node : Platform.Soc.result array;
+  comm : Smpi.comm_stats;
+  internode_messages : int;
+  internode_bytes : int;
+}
+
+val run : ?quantum:int -> config -> Smpi.program -> result
+(** The program must have exactly [nodes * ranks_per_node] ranks. *)
+
+val run_app :
+  ?scale:float ->
+  ?codegen:Workloads.Codegen.t ->
+  config ->
+  Workloads.Workload.app ->
+  result
+(** Build the app for [nodes * ranks_per_node] ranks and run it. *)
+
+val scaling_table :
+  ?scale:float -> ?node_counts:int list -> Platform.Config.t -> Workloads.Workload.app -> string
+(** Strong-scaling study across node counts (default 1, 2, 4, 8): target
+    runtime, speedup and parallel efficiency per row — the study the
+    paper proposes for the BxE cluster. *)

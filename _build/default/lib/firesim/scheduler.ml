@@ -1,0 +1,68 @@
+type model = {
+  m_name : string;
+  inputs : int Channel.t list;
+  outputs : int Channel.t list;
+  step : int -> int list -> int list;
+  mutable cycle : int;
+}
+
+let model ~name ~inputs ~outputs ~step = { m_name = name; inputs; outputs; step; cycle = 0 }
+let name m = m.m_name
+let cycles_done m = m.cycle
+
+type policy =
+  | Round_robin
+  | Reverse
+  | Random of Util.Rng.t
+
+type outcome = {
+  host_iterations : int;
+  fired : int;
+}
+
+let fireable m target_cycles =
+  m.cycle < target_cycles
+  && List.for_all Channel.can_dequeue m.inputs
+  && List.for_all Channel.can_enqueue m.outputs
+
+let fire m =
+  let ins = List.map Channel.dequeue m.inputs in
+  let outs = m.step m.cycle ins in
+  if List.length outs <> List.length m.outputs then
+    failwith (m.m_name ^ ": step produced wrong number of output tokens");
+  List.iter2 Channel.enqueue m.outputs outs;
+  m.cycle <- m.cycle + 1
+
+let run ?(policy = Round_robin) ~models ~target_cycles () =
+  let arr = Array.of_list models in
+  let n = Array.length arr in
+  let iterations = ref 0 in
+  let fired = ref 0 in
+  let order () =
+    match policy with
+    | Round_robin -> Array.init n (fun i -> i)
+    | Reverse -> Array.init n (fun i -> n - 1 - i)
+    | Random rng -> Util.Rng.permutation rng n
+  in
+  let all_done () = Array.for_all (fun m -> m.cycle >= target_cycles) arr in
+  while not (all_done ()) do
+    incr iterations;
+    let progressed = ref false in
+    Array.iter
+      (fun i ->
+        let m = arr.(i) in
+        if fireable m target_cycles then begin
+          fire m;
+          incr fired;
+          progressed := true
+        end)
+      (order ());
+    if not !progressed then
+      failwith
+        ("Firesim.Scheduler: deadlock; stuck models: "
+        ^ String.concat ", "
+            (Array.to_list arr
+            |> List.filter (fun m -> m.cycle < target_cycles)
+            |> List.map (fun m -> m.m_name)))
+  done;
+  { host_iterations = !iterations; fired = !fired }

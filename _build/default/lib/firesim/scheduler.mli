@@ -1,0 +1,38 @@
+(** Deterministic co-simulation of token-decoupled models.
+
+    Each model is a step function that consumes one token from every input
+    channel and produces one token on every output channel per *target*
+    cycle.  A model may fire only when all inputs are ready and all outputs
+    have room; the scheduler picks fireable models according to a host
+    policy.  The FireSim correctness property — target behaviour is
+    independent of host scheduling — holds by construction and is checked
+    by the test suite under different policies. *)
+
+type model
+
+val model :
+  name:string ->
+  inputs:int Channel.t list ->
+  outputs:int Channel.t list ->
+  step:(int -> int list -> int list) ->
+  model
+(** [step target_cycle input_tokens] returns the output tokens for this
+    target cycle. *)
+
+val name : model -> string
+val cycles_done : model -> int
+
+type policy =
+  | Round_robin
+  | Reverse  (** iterate models in reverse order: adversarial interleave *)
+  | Random of Util.Rng.t
+
+type outcome = {
+  host_iterations : int;  (** scheduler passes needed *)
+  fired : int;  (** total model firings (= models x target cycles) *)
+}
+
+val run : ?policy:policy -> models:model list -> target_cycles:int -> unit -> outcome
+(** Advance every model by [target_cycles] target cycles.  Raises
+    [Failure] if the network deadlocks (e.g. a channel cycle with no
+    initial tokens). *)

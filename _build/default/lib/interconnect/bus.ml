@@ -1,0 +1,60 @@
+type config = {
+  name : string;
+  width_bits : int;
+  cycles_per_beat : int;
+}
+
+let config ?(cycles_per_beat = 1) ~name ~width_bits () =
+  if width_bits <= 0 || width_bits mod 8 <> 0 then invalid_arg "Bus.config: width_bits";
+  if cycles_per_beat <= 0 then invalid_arg "Bus.config: cycles_per_beat";
+  { name; width_bits; cycles_per_beat }
+
+type stats = {
+  transfers : int;
+  beats : int;
+  contended : int;
+  busy_cycles : int;
+}
+
+type t = {
+  cfg : config;
+  mutable free_at : int;
+  mutable s_transfers : int;
+  mutable s_beats : int;
+  mutable s_contended : int;
+  mutable s_busy : int;
+}
+
+let create cfg = { cfg; free_at = 0; s_transfers = 0; s_beats = 0; s_contended = 0; s_busy = 0 }
+
+let transfer t ~cycle ~bytes =
+  if bytes <= 0 then invalid_arg "Bus.transfer: bytes";
+  let beat_bytes = t.cfg.width_bits / 8 in
+  let beats = (bytes + beat_bytes - 1) / beat_bytes in
+  let duration = beats * t.cfg.cycles_per_beat in
+  let start =
+    if t.free_at <= cycle then cycle
+    else begin
+      t.s_contended <- t.s_contended + 1;
+      t.free_at
+    end
+  in
+  let finish = start + duration in
+  t.free_at <- finish;
+  t.s_transfers <- t.s_transfers + 1;
+  t.s_beats <- t.s_beats + beats;
+  t.s_busy <- t.s_busy + duration;
+  finish
+
+let stats t =
+  { transfers = t.s_transfers; beats = t.s_beats; contended = t.s_contended; busy_cycles = t.s_busy }
+
+let reset_stats t =
+  t.s_transfers <- 0;
+  t.s_beats <- 0;
+  t.s_contended <- 0;
+  t.s_busy <- 0;
+  t.free_at <- 0
+
+let utilization t ~total_cycles =
+  if total_cycles <= 0 then 0.0 else float_of_int t.s_busy /. float_of_int total_cycles

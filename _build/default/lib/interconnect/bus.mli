@@ -1,0 +1,37 @@
+(** Shared system-bus model.
+
+    Refills between cache levels and to memory cross the system bus: a
+    [width_bits]-wide pipe shared by all cores.  A transfer occupies the
+    bus for [ceil(bytes / (width_bits/8))] beats; concurrent transfers
+    serialize first-come-first-served, which is what differentiates the
+    paper's Rocket2 / Banana Pi Sim Model configurations (1 vs 4 L2 banks,
+    64- vs 128-bit bus) under multi-core load. *)
+
+type config = {
+  name : string;
+  width_bits : int;  (** data width; beats move width_bits/8 bytes *)
+  cycles_per_beat : int;  (** core cycles per beat (>= 1) *)
+}
+
+val config : ?cycles_per_beat:int -> name:string -> width_bits:int -> unit -> config
+
+type stats = {
+  transfers : int;
+  beats : int;
+  contended : int;  (** transfers that waited for the bus *)
+  busy_cycles : int;
+}
+
+type t
+
+val create : config -> t
+
+val transfer : t -> cycle:int -> bytes:int -> int
+(** [transfer t ~cycle ~bytes] returns the cycle at which the last beat has
+    moved. *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val utilization : t -> total_cycles:int -> float
+(** Fraction of [total_cycles] during which the bus was moving data. *)

@@ -1,0 +1,1 @@
+lib/isa/machine.ml: Array Bytes Char Hashtbl Insn Int64 Rv64 Seq

@@ -1,0 +1,1 @@
+lib/isa/rv64.ml: Format Insn Int32 Printf Sys

@@ -1,0 +1,1 @@
+lib/isa/rv64.mli: Format Insn

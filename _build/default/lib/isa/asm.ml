@@ -1,0 +1,75 @@
+type patch =
+  | Beq of Rv64.reg * Rv64.reg
+  | Bne of Rv64.reg * Rv64.reg
+  | Blt of Rv64.reg * Rv64.reg
+  | Bge of Rv64.reg * Rv64.reg
+  | Bltu of Rv64.reg * Rv64.reg
+  | Bgeu of Rv64.reg * Rv64.reg
+  | Jal of Rv64.reg
+
+type item =
+  | Insn of Rv64.t
+  | Label of string
+  | Patched of patch * string
+
+let insn i = Insn i
+let label name = Label name
+let beq a b l = Patched (Beq (a, b), l)
+let bne a b l = Patched (Bne (a, b), l)
+let blt a b l = Patched (Blt (a, b), l)
+let bge a b l = Patched (Bge (a, b), l)
+let bltu a b l = Patched (Bltu (a, b), l)
+let bgeu a b l = Patched (Bgeu (a, b), l)
+let jal rd l = Patched (Jal rd, l)
+let call l = Patched (Jal 1, l)
+let j l = Patched (Jal 0, l)
+let ret = Insn (Rv64.Jalr (0, 1, 0))
+
+exception Unknown_label of string
+exception Duplicate_label of string
+
+let assemble ?(base = 0x10000) items =
+  (* Pass 1: assign addresses; labels bind to the following instruction. *)
+  let labels = Hashtbl.create 16 in
+  let addr = ref base in
+  List.iter
+    (fun item ->
+      match item with
+      | Label name ->
+        if Hashtbl.mem labels name then raise (Duplicate_label name);
+        Hashtbl.add labels name !addr
+      | Insn _ | Patched _ -> addr := !addr + 4)
+    items;
+  let target name =
+    match Hashtbl.find_opt labels name with
+    | Some a -> a
+    | None -> raise (Unknown_label name)
+  in
+  (* Pass 2: materialize. *)
+  let out = ref [] in
+  let addr = ref base in
+  List.iter
+    (fun item ->
+      match item with
+      | Label _ -> ()
+      | Insn i ->
+        out := i :: !out;
+        addr := !addr + 4
+      | Patched (p, name) ->
+        let off = target name - !addr in
+        let i =
+          match p with
+          | Beq (a, b) -> Rv64.Beq (a, b, off)
+          | Bne (a, b) -> Rv64.Bne (a, b, off)
+          | Blt (a, b) -> Rv64.Blt (a, b, off)
+          | Bge (a, b) -> Rv64.Bge (a, b, off)
+          | Bltu (a, b) -> Rv64.Bltu (a, b, off)
+          | Bgeu (a, b) -> Rv64.Bgeu (a, b, off)
+          | Jal rd -> Rv64.Jal (rd, off)
+        in
+        out := i :: !out;
+        addr := !addr + 4)
+    items;
+  Array.of_list (List.rev !out)
+
+let assemble_words ?base items = Array.map Rv64.encode (assemble ?base items)

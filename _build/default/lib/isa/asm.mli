@@ -1,0 +1,53 @@
+(** A small RV64 assembler with labels.
+
+    Writing kernels directly as {!Rv64.t} arrays means hand-computing
+    branch and jump offsets; this module resolves symbolic labels
+    instead.  Branch/jump items take a label name, and [assemble] turns
+    the item list into an instruction array with concrete offsets, given
+    the program's base address.
+
+    {[
+      let program =
+        Asm.(assemble ~base:0x10000
+          [
+            insn (Rv64.Addi (5, 0, 10));
+            label "loop";
+            insn (Rv64.Addi (5, 5, -1));
+            bne 5 0 "loop";
+            insn Rv64.Ecall;
+          ])
+    ]} *)
+
+type item
+
+val insn : Rv64.t -> item
+(** A concrete instruction (its offsets, if any, are taken as-is). *)
+
+val label : string -> item
+(** Bind a name to the next instruction's address. *)
+
+val beq : Rv64.reg -> Rv64.reg -> string -> item
+val bne : Rv64.reg -> Rv64.reg -> string -> item
+val blt : Rv64.reg -> Rv64.reg -> string -> item
+val bge : Rv64.reg -> Rv64.reg -> string -> item
+val bltu : Rv64.reg -> Rv64.reg -> string -> item
+val bgeu : Rv64.reg -> Rv64.reg -> string -> item
+val jal : Rv64.reg -> string -> item
+val call : string -> item
+(** [jal x1, label]. *)
+
+val j : string -> item
+(** [jal x0, label]. *)
+
+val ret : item
+(** [jalr x0, 0(x1)]. *)
+
+exception Unknown_label of string
+exception Duplicate_label of string
+
+val assemble : ?base:int -> item list -> Rv64.t array
+(** Resolve labels to PC-relative offsets.  [base] (default 0x10000) is
+    where the program will be loaded. *)
+
+val assemble_words : ?base:int -> item list -> int32 array
+(** [assemble] followed by {!Rv64.encode}. *)

@@ -1,0 +1,109 @@
+(** Dynamic-instruction representation.
+
+    The simulator is trace-driven: workloads produce a stream of *retired*
+    instructions (the committed path), and core timing models charge cycles
+    for them.  Each dynamic instruction carries exactly the information the
+    timing models need: its static PC (for the instruction cache and branch
+    predictors), its register dataflow (for dependency stalls), its memory
+    access (for the data-cache hierarchy), and its control-flow outcome
+    (for prediction).
+
+    Register identifiers are small integers in [0, 31] mirroring the RISC-V
+    integer/FP file split only loosely: the timing models track readiness per
+    identifier, which is what matters for dependence chains.  Register 0 is
+    the hardwired zero and never creates a dependency. *)
+
+type reg = int
+(** Architectural register id, 0..31; 0 is the zero register. *)
+
+val zero_reg : reg
+val num_regs : int
+
+(** Operation kinds, grouped by execution resource.  [Fp_long] stands for a
+    libm-grade transcendental (sin, cos, ...) executed as one long-latency
+    unpipelined operation. *)
+type kind =
+  | Int_alu
+  | Int_mul
+  | Int_div
+  | Fp_add
+  | Fp_mul
+  | Fp_div
+  | Fp_cvt
+  | Fp_long
+  | Load
+  | Store
+  | Branch
+  | Jump
+  | Call
+  | Ret
+  | Fence
+  | Amo
+  | Nop
+
+val kind_name : kind -> string
+
+val is_mem : kind -> bool
+(** Loads, stores and atomics. *)
+
+val is_ctrl : kind -> bool
+(** Branches, jumps, calls and returns. *)
+
+val is_fp : kind -> bool
+
+(** Memory access attached to a [Load]/[Store]/[Amo]. *)
+type mem_access = { addr : int; size : int }
+
+(** Control-flow outcome attached to a [Branch]/[Jump]/[Call]/[Ret]:
+    whether the transfer was taken and the PC it transferred to.  For
+    unconditional kinds [taken] is always true. *)
+type ctrl = { taken : bool; target : int }
+
+type t = {
+  pc : int;
+  kind : kind;
+  dst : reg;  (** destination register, [zero_reg] if none *)
+  src1 : reg;  (** first source, [zero_reg] if unused *)
+  src2 : reg;  (** second source, [zero_reg] if unused *)
+  mem : mem_access option;
+  ctrl : ctrl option;
+}
+
+val make :
+  ?dst:reg ->
+  ?src1:reg ->
+  ?src2:reg ->
+  ?mem:mem_access ->
+  ?ctrl:ctrl ->
+  pc:int ->
+  kind ->
+  t
+(** Smart constructor; checks (with assertions) that memory kinds carry a
+    memory access and control kinds carry an outcome. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Per-kind execution latencies (cycles in the issuing core's clock),
+    excluding any memory-hierarchy time.  Cores can override this table. *)
+module Latency : sig
+  type table = {
+    int_alu : int;
+    int_mul : int;
+    int_div : int;
+    fp_add : int;
+    fp_mul : int;
+    fp_div : int;
+    fp_cvt : int;
+    fp_long : int;
+    jump : int;
+    fence : int;
+    amo : int;
+  }
+
+  val default : table
+  (** Latencies typical of the Rocket/BOOM generation of cores. *)
+
+  val of_kind : table -> kind -> int
+  (** Execution latency for one kind ([Load]/[Store]/[Branch] return the
+      non-memory, non-penalty base of 1). *)
+end

@@ -1,0 +1,178 @@
+type t = {
+  regs : int64 array;
+  pages : (int, Bytes.t) Hashtbl.t;  (* 4 KiB pages, lazily allocated *)
+  mutable pc : int;
+  mutable halted : bool;
+  mutable instret : int;
+}
+
+exception Illegal_instruction of int * int32
+
+let page_bytes = 4096
+
+let create ?(pc = 0x10000) () =
+  { regs = Array.make 32 0L; pages = Hashtbl.create 64; pc; halted = false; instret = 0 }
+
+let page t addr =
+  let key = addr / page_bytes in
+  match Hashtbl.find_opt t.pages key with
+  | Some p -> p
+  | None ->
+    let p = Bytes.make page_bytes '\000' in
+    Hashtbl.add t.pages key p;
+    p
+
+let read_byte t addr = Char.code (Bytes.get (page t addr) (addr mod page_bytes))
+let write_byte t addr v = Bytes.set (page t addr) (addr mod page_bytes) (Char.chr (v land 0xFF))
+
+let read_n t addr n =
+  let v = ref 0L in
+  for i = n - 1 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (read_byte t (addr + i)))
+  done;
+  !v
+
+let write_n t addr n x =
+  for i = 0 to n - 1 do
+    write_byte t (addr + i) (Int64.to_int (Int64.shift_right_logical x (8 * i)) land 0xFF)
+  done
+
+let read_mem t addr = read_n t addr 8
+let write_mem t addr v = write_n t addr 8 v
+
+let load_words t ~addr words =
+  Array.iteri (fun i w -> write_n t (addr + (4 * i)) 4 (Int64.of_int32 w)) words
+
+let load_program t ~addr program = load_words t ~addr (Array.map Rv64.encode program)
+
+let reg t r = if r = 0 then 0L else t.regs.(r)
+
+let set_reg t r v = if r <> 0 then t.regs.(r) <- v
+
+let pc t = t.pc
+let halted t = t.halted
+let instret t = t.instret
+
+(* Sign-extend a 32-bit value held in an int64. *)
+let sext32 v = Int64.shift_right (Int64.shift_left v 32) 32
+
+let to_addr v = Int64.to_int v land ((1 lsl 48) - 1)
+
+let step t =
+  if t.halted then None
+  else begin
+    let word = Int64.to_int32 (read_n t t.pc 4) in
+    match Rv64.decode word with
+    | None -> raise (Illegal_instruction (t.pc, word))
+    | Some instr ->
+      let cur_pc = t.pc in
+      let kind = Rv64.kind_of instr in
+      t.instret <- t.instret + 1;
+      (* Execute architecturally and collect the IR view. *)
+      let mk ?(dst = 0) ?(src1 = 0) ?(src2 = 0) ?mem ?ctrl () =
+        (* The IR tracks 32 registers; x-registers map directly. *)
+        Insn.make ~dst ~src1 ~src2 ?mem ?ctrl ~pc:cur_pc kind
+      in
+      let next = cur_pc + 4 in
+      let alu rd rs1 rs2 f =
+        set_reg t rd (f (reg t rs1) (reg t rs2));
+        t.pc <- next;
+        mk ~dst:rd ~src1:rs1 ~src2:rs2 ()
+      in
+      let alui rd rs1 imm f =
+        set_reg t rd (f (reg t rs1) (Int64.of_int imm));
+        t.pc <- next;
+        mk ~dst:rd ~src1:rs1 ()
+      in
+      let load rd rs1 imm bytes signed =
+        let addr = to_addr (Int64.add (reg t rs1) (Int64.of_int imm)) in
+        let raw = read_n t addr bytes in
+        let v = if signed && bytes = 4 then sext32 raw else raw in
+        set_reg t rd v;
+        t.pc <- next;
+        mk ~dst:rd ~src1:rs1 ~mem:{ Insn.addr; size = bytes } ()
+      in
+      let store rs2 rs1 imm bytes =
+        let addr = to_addr (Int64.add (reg t rs1) (Int64.of_int imm)) in
+        write_n t addr bytes (reg t rs2);
+        t.pc <- next;
+        mk ~src1:rs1 ~src2:rs2 ~mem:{ Insn.addr; size = bytes } ()
+      in
+      let branch rs1 rs2 imm cond =
+        let taken = cond (reg t rs1) (reg t rs2) in
+        let target = if taken then cur_pc + imm else next in
+        t.pc <- target;
+        mk ~src1:rs1 ~src2:rs2 ~ctrl:{ Insn.taken; target } ()
+      in
+      let insn =
+        match instr with
+        | Rv64.Add (rd, a, b) -> alu rd a b Int64.add
+        | Sub (rd, a, b) -> alu rd a b Int64.sub
+        | Sll (rd, a, b) -> alu rd a b (fun x y -> Int64.shift_left x (Int64.to_int y land 63))
+        | Slt (rd, a, b) -> alu rd a b (fun x y -> if Int64.compare x y < 0 then 1L else 0L)
+        | Sltu (rd, a, b) ->
+          alu rd a b (fun x y -> if Int64.unsigned_compare x y < 0 then 1L else 0L)
+        | Xor (rd, a, b) -> alu rd a b Int64.logxor
+        | Srl (rd, a, b) -> alu rd a b (fun x y -> Int64.shift_right_logical x (Int64.to_int y land 63))
+        | Sra (rd, a, b) -> alu rd a b (fun x y -> Int64.shift_right x (Int64.to_int y land 63))
+        | Or (rd, a, b) -> alu rd a b Int64.logor
+        | And (rd, a, b) -> alu rd a b Int64.logand
+        | Mul (rd, a, b) -> alu rd a b Int64.mul
+        | Div (rd, a, b) ->
+          alu rd a b (fun x y -> if y = 0L then -1L else Int64.div x y)
+        | Rem (rd, a, b) -> alu rd a b (fun x y -> if y = 0L then x else Int64.rem x y)
+        | Addi (rd, a, imm) -> alui rd a imm Int64.add
+        | Slti (rd, a, imm) -> alui rd a imm (fun x y -> if Int64.compare x y < 0 then 1L else 0L)
+        | Sltiu (rd, a, imm) ->
+          alui rd a imm (fun x y -> if Int64.unsigned_compare x y < 0 then 1L else 0L)
+        | Xori (rd, a, imm) -> alui rd a imm Int64.logxor
+        | Ori (rd, a, imm) -> alui rd a imm Int64.logor
+        | Andi (rd, a, imm) -> alui rd a imm Int64.logand
+        | Slli (rd, a, sh) -> alui rd a sh (fun x y -> Int64.shift_left x (Int64.to_int y))
+        | Srli (rd, a, sh) -> alui rd a sh (fun x y -> Int64.shift_right_logical x (Int64.to_int y))
+        | Srai (rd, a, sh) -> alui rd a sh (fun x y -> Int64.shift_right x (Int64.to_int y))
+        | Ld (rd, imm, rs1) -> load rd rs1 imm 8 false
+        | Lw (rd, imm, rs1) -> load rd rs1 imm 4 true
+        | Sd (rs2, imm, rs1) -> store rs2 rs1 imm 8
+        | Sw (rs2, imm, rs1) -> store rs2 rs1 imm 4
+        | Beq (a, b, imm) -> branch a b imm Int64.equal
+        | Bne (a, b, imm) -> branch a b imm (fun x y -> not (Int64.equal x y))
+        | Blt (a, b, imm) -> branch a b imm (fun x y -> Int64.compare x y < 0)
+        | Bge (a, b, imm) -> branch a b imm (fun x y -> Int64.compare x y >= 0)
+        | Bltu (a, b, imm) -> branch a b imm (fun x y -> Int64.unsigned_compare x y < 0)
+        | Bgeu (a, b, imm) -> branch a b imm (fun x y -> Int64.unsigned_compare x y >= 0)
+        | Jal (rd, imm) ->
+          set_reg t rd (Int64.of_int next);
+          let target = cur_pc + imm in
+          t.pc <- target;
+          mk ~dst:rd ~ctrl:{ Insn.taken = true; target } ()
+        | Jalr (rd, rs1, imm) ->
+          let target = to_addr (Int64.add (reg t rs1) (Int64.of_int imm)) land lnot 1 in
+          set_reg t rd (Int64.of_int next);
+          t.pc <- target;
+          mk ~dst:rd ~src1:rs1 ~ctrl:{ Insn.taken = true; target } ()
+        | Lui (rd, imm) ->
+          set_reg t rd (Int64.of_int (imm lsl 12));
+          t.pc <- next;
+          mk ~dst:rd ()
+        | Auipc (rd, imm) ->
+          set_reg t rd (Int64.of_int (cur_pc + (imm lsl 12)));
+          t.pc <- next;
+          mk ~dst:rd ()
+        | Ecall ->
+          t.halted <- true;
+          t.pc <- next;
+          mk ()
+      in
+      Some insn
+  end
+
+let run ?(max_insns = 10_000_000) t =
+  let rec go n () =
+    if n >= max_insns then Seq.Nil
+    else
+      match step t with
+      | None -> Seq.Nil
+      | Some i -> Seq.Cons (i, go (n + 1))
+  in
+  go 0

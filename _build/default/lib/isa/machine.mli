@@ -1,0 +1,54 @@
+(** Functional RV64IM machine.
+
+    Executes encoded {!Rv64} programs over a 64-bit register file and a
+    sparse byte-addressed memory, and emits the retired-instruction
+    stream ({!Insn.t}) the timing models consume — real machine code in,
+    cycles out.
+
+    Execution is architectural only (no timing): [step] retires one
+    instruction, updating PC, registers and memory, and returns the IR
+    record carrying the PC, register dataflow, memory address and branch
+    outcome the timing layers need.  [Ecall] halts the machine.
+
+    Memory is paged lazily: any address reads as zero until written.
+    Misaligned accesses are allowed (this subset does not trap). *)
+
+type t
+
+val create : ?pc:int -> unit -> t
+(** Fresh machine: registers zero, empty memory, PC at [pc]
+    (default 0x10000). *)
+
+val load_program : t -> addr:int -> Rv64.t array -> unit
+(** Encode and store a program at [addr] (4 bytes per instruction). *)
+
+val load_words : t -> addr:int -> int32 array -> unit
+(** Store raw instruction words (e.g. from a binary blob). *)
+
+val reg : t -> int -> int64
+(** Architectural register value (x0 reads zero). *)
+
+val set_reg : t -> int -> int64 -> unit
+
+val read_mem : t -> int -> int64
+(** 64-bit little-endian load (for tests and result inspection). *)
+
+val write_mem : t -> int -> int64 -> unit
+
+val pc : t -> int
+
+val halted : t -> bool
+
+val instret : t -> int
+(** Instructions retired so far. *)
+
+exception Illegal_instruction of int * int32
+(** PC and the offending word. *)
+
+val step : t -> Insn.t option
+(** Retire one instruction; [None] once halted.  Raises
+    {!Illegal_instruction} on undecodable words. *)
+
+val run : ?max_insns:int -> t -> Insn.t Seq.t
+(** Lazy stream of retired instructions until [Ecall] or [max_insns]
+    (default 10 million — a runaway guard, not a target). *)

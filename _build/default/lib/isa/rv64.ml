@@ -1,0 +1,302 @@
+type reg = int
+
+type t =
+  | Add of reg * reg * reg
+  | Sub of reg * reg * reg
+  | Sll of reg * reg * reg
+  | Slt of reg * reg * reg
+  | Sltu of reg * reg * reg
+  | Xor of reg * reg * reg
+  | Srl of reg * reg * reg
+  | Sra of reg * reg * reg
+  | Or of reg * reg * reg
+  | And of reg * reg * reg
+  | Mul of reg * reg * reg
+  | Div of reg * reg * reg
+  | Rem of reg * reg * reg
+  | Addi of reg * reg * int
+  | Slti of reg * reg * int
+  | Sltiu of reg * reg * int
+  | Xori of reg * reg * int
+  | Ori of reg * reg * int
+  | Andi of reg * reg * int
+  | Slli of reg * reg * int
+  | Srli of reg * reg * int
+  | Srai of reg * reg * int
+  | Ld of reg * int * reg
+  | Lw of reg * int * reg
+  | Sd of reg * int * reg
+  | Sw of reg * int * reg
+  | Beq of reg * reg * int
+  | Bne of reg * reg * int
+  | Blt of reg * reg * int
+  | Bge of reg * reg * int
+  | Bltu of reg * reg * int
+  | Bgeu of reg * reg * int
+  | Jal of reg * int
+  | Jalr of reg * reg * int
+  | Lui of reg * int
+  | Auipc of reg * int
+  | Ecall
+
+(* --- encoding ------------------------------------------------------- *)
+
+let check_reg r = if r < 0 || r > 31 then invalid_arg "Rv64: register out of range"
+
+let check_range name lo hi v =
+  if v < lo || v > hi then invalid_arg (Printf.sprintf "Rv64: %s immediate %d out of range" name v)
+
+let op_reg = 0b0110011
+let op_imm = 0b0010011
+let op_load = 0b0000011
+let op_store = 0b0100011
+let op_branch = 0b1100011
+let op_jal = 0b1101111
+let op_jalr = 0b1100111
+let op_lui = 0b0110111
+let op_auipc = 0b0010111
+let op_system = 0b1110011
+
+let r_type ~funct7 ~rs2 ~rs1 ~funct3 ~rd ~opcode =
+  check_reg rs2;
+  check_reg rs1;
+  check_reg rd;
+  (funct7 lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12) lor (rd lsl 7) lor opcode
+
+let i_type ~imm ~rs1 ~funct3 ~rd ~opcode =
+  check_reg rs1;
+  check_reg rd;
+  check_range "I" (-2048) 2047 imm;
+  ((imm land 0xFFF) lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12) lor (rd lsl 7) lor opcode
+
+let shift_type ~top6 ~shamt ~rs1 ~funct3 ~rd =
+  check_reg rs1;
+  check_reg rd;
+  check_range "shamt" 0 63 shamt;
+  (top6 lsl 26) lor (shamt lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12) lor (rd lsl 7) lor op_imm
+
+let s_type ~imm ~rs2 ~rs1 ~funct3 =
+  check_reg rs2;
+  check_reg rs1;
+  check_range "S" (-2048) 2047 imm;
+  let imm = imm land 0xFFF in
+  ((imm lsr 5) lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor ((imm land 0x1F) lsl 7)
+  lor op_store
+
+let b_type ~imm ~rs2 ~rs1 ~funct3 =
+  check_reg rs2;
+  check_reg rs1;
+  check_range "B" (-4096) 4094 imm;
+  if imm land 1 <> 0 then invalid_arg "Rv64: branch offset must be even";
+  let u = imm land 0x1FFF in
+  ((u lsr 12) lsl 31)
+  lor (((u lsr 5) land 0x3F) lsl 25)
+  lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor (((u lsr 1) land 0xF) lsl 8)
+  lor (((u lsr 11) land 1) lsl 7)
+  lor op_branch
+
+let u_type ~imm ~rd ~opcode =
+  check_reg rd;
+  check_range "U" (-524288) 524287 imm;
+  ((imm land 0xFFFFF) lsl 12) lor (rd lsl 7) lor opcode
+
+let j_type ~imm ~rd =
+  check_reg rd;
+  check_range "J" (-1048576) 1048574 imm;
+  if imm land 1 <> 0 then invalid_arg "Rv64: jump offset must be even";
+  let u = imm land 0x1FFFFF in
+  ((u lsr 20) lsl 31)
+  lor (((u lsr 1) land 0x3FF) lsl 21)
+  lor (((u lsr 11) land 1) lsl 20)
+  lor (((u lsr 12) land 0xFF) lsl 12)
+  lor (rd lsl 7) lor op_jal
+
+let encode instr =
+  let word =
+    match instr with
+    | Add (rd, rs1, rs2) -> r_type ~funct7:0 ~rs2 ~rs1 ~funct3:0b000 ~rd ~opcode:op_reg
+    | Sub (rd, rs1, rs2) -> r_type ~funct7:0b0100000 ~rs2 ~rs1 ~funct3:0b000 ~rd ~opcode:op_reg
+    | Sll (rd, rs1, rs2) -> r_type ~funct7:0 ~rs2 ~rs1 ~funct3:0b001 ~rd ~opcode:op_reg
+    | Slt (rd, rs1, rs2) -> r_type ~funct7:0 ~rs2 ~rs1 ~funct3:0b010 ~rd ~opcode:op_reg
+    | Sltu (rd, rs1, rs2) -> r_type ~funct7:0 ~rs2 ~rs1 ~funct3:0b011 ~rd ~opcode:op_reg
+    | Xor (rd, rs1, rs2) -> r_type ~funct7:0 ~rs2 ~rs1 ~funct3:0b100 ~rd ~opcode:op_reg
+    | Srl (rd, rs1, rs2) -> r_type ~funct7:0 ~rs2 ~rs1 ~funct3:0b101 ~rd ~opcode:op_reg
+    | Sra (rd, rs1, rs2) -> r_type ~funct7:0b0100000 ~rs2 ~rs1 ~funct3:0b101 ~rd ~opcode:op_reg
+    | Or (rd, rs1, rs2) -> r_type ~funct7:0 ~rs2 ~rs1 ~funct3:0b110 ~rd ~opcode:op_reg
+    | And (rd, rs1, rs2) -> r_type ~funct7:0 ~rs2 ~rs1 ~funct3:0b111 ~rd ~opcode:op_reg
+    | Mul (rd, rs1, rs2) -> r_type ~funct7:1 ~rs2 ~rs1 ~funct3:0b000 ~rd ~opcode:op_reg
+    | Div (rd, rs1, rs2) -> r_type ~funct7:1 ~rs2 ~rs1 ~funct3:0b100 ~rd ~opcode:op_reg
+    | Rem (rd, rs1, rs2) -> r_type ~funct7:1 ~rs2 ~rs1 ~funct3:0b110 ~rd ~opcode:op_reg
+    | Addi (rd, rs1, imm) -> i_type ~imm ~rs1 ~funct3:0b000 ~rd ~opcode:op_imm
+    | Slti (rd, rs1, imm) -> i_type ~imm ~rs1 ~funct3:0b010 ~rd ~opcode:op_imm
+    | Sltiu (rd, rs1, imm) -> i_type ~imm ~rs1 ~funct3:0b011 ~rd ~opcode:op_imm
+    | Xori (rd, rs1, imm) -> i_type ~imm ~rs1 ~funct3:0b100 ~rd ~opcode:op_imm
+    | Ori (rd, rs1, imm) -> i_type ~imm ~rs1 ~funct3:0b110 ~rd ~opcode:op_imm
+    | Andi (rd, rs1, imm) -> i_type ~imm ~rs1 ~funct3:0b111 ~rd ~opcode:op_imm
+    | Slli (rd, rs1, sh) -> shift_type ~top6:0 ~shamt:sh ~rs1 ~funct3:0b001 ~rd
+    | Srli (rd, rs1, sh) -> shift_type ~top6:0 ~shamt:sh ~rs1 ~funct3:0b101 ~rd
+    | Srai (rd, rs1, sh) -> shift_type ~top6:0b010000 ~shamt:sh ~rs1 ~funct3:0b101 ~rd
+    | Ld (rd, imm, rs1) -> i_type ~imm ~rs1 ~funct3:0b011 ~rd ~opcode:op_load
+    | Lw (rd, imm, rs1) -> i_type ~imm ~rs1 ~funct3:0b010 ~rd ~opcode:op_load
+    | Sd (rs2, imm, rs1) -> s_type ~imm ~rs2 ~rs1 ~funct3:0b011
+    | Sw (rs2, imm, rs1) -> s_type ~imm ~rs2 ~rs1 ~funct3:0b010
+    | Beq (rs1, rs2, imm) -> b_type ~imm ~rs2 ~rs1 ~funct3:0b000
+    | Bne (rs1, rs2, imm) -> b_type ~imm ~rs2 ~rs1 ~funct3:0b001
+    | Blt (rs1, rs2, imm) -> b_type ~imm ~rs2 ~rs1 ~funct3:0b100
+    | Bge (rs1, rs2, imm) -> b_type ~imm ~rs2 ~rs1 ~funct3:0b101
+    | Bltu (rs1, rs2, imm) -> b_type ~imm ~rs2 ~rs1 ~funct3:0b110
+    | Bgeu (rs1, rs2, imm) -> b_type ~imm ~rs2 ~rs1 ~funct3:0b111
+    | Jal (rd, imm) -> j_type ~imm ~rd
+    | Jalr (rd, rs1, imm) -> i_type ~imm ~rs1 ~funct3:0b000 ~rd ~opcode:op_jalr
+    | Lui (rd, imm) -> u_type ~imm ~rd ~opcode:op_lui
+    | Auipc (rd, imm) -> u_type ~imm ~rd ~opcode:op_auipc
+    | Ecall -> op_system
+  in
+  Int32.of_int word
+
+(* --- decoding ------------------------------------------------------- *)
+
+let sign_extend width v =
+  let shift = Sys.int_size - width in
+  (v lsl shift) asr shift
+
+let decode word =
+  let w = Int32.to_int word land 0xFFFFFFFF in
+  let opcode = w land 0x7F in
+  let rd = (w lsr 7) land 0x1F in
+  let funct3 = (w lsr 12) land 0x7 in
+  let rs1 = (w lsr 15) land 0x1F in
+  let rs2 = (w lsr 20) land 0x1F in
+  let funct7 = (w lsr 25) land 0x7F in
+  let i_imm = sign_extend 12 (w lsr 20) in
+  let s_imm = sign_extend 12 (((w lsr 25) lsl 5) lor ((w lsr 7) land 0x1F)) in
+  let b_imm =
+    sign_extend 13
+      (((w lsr 31) lsl 12)
+      lor (((w lsr 7) land 1) lsl 11)
+      lor (((w lsr 25) land 0x3F) lsl 5)
+      lor (((w lsr 8) land 0xF) lsl 1))
+  in
+  let u_imm = sign_extend 20 (w lsr 12) in
+  let j_imm =
+    sign_extend 21
+      (((w lsr 31) lsl 20)
+      lor (((w lsr 12) land 0xFF) lsl 12)
+      lor (((w lsr 20) land 1) lsl 11)
+      lor (((w lsr 21) land 0x3FF) lsl 1))
+  in
+  match opcode with
+  | o when o = op_reg -> (
+    match (funct7, funct3) with
+    | 0, 0b000 -> Some (Add (rd, rs1, rs2))
+    | 0b0100000, 0b000 -> Some (Sub (rd, rs1, rs2))
+    | 0, 0b001 -> Some (Sll (rd, rs1, rs2))
+    | 0, 0b010 -> Some (Slt (rd, rs1, rs2))
+    | 0, 0b011 -> Some (Sltu (rd, rs1, rs2))
+    | 0, 0b100 -> Some (Xor (rd, rs1, rs2))
+    | 0, 0b101 -> Some (Srl (rd, rs1, rs2))
+    | 0b0100000, 0b101 -> Some (Sra (rd, rs1, rs2))
+    | 0, 0b110 -> Some (Or (rd, rs1, rs2))
+    | 0, 0b111 -> Some (And (rd, rs1, rs2))
+    | 1, 0b000 -> Some (Mul (rd, rs1, rs2))
+    | 1, 0b100 -> Some (Div (rd, rs1, rs2))
+    | 1, 0b110 -> Some (Rem (rd, rs1, rs2))
+    | _ -> None)
+  | o when o = op_imm -> (
+    match funct3 with
+    | 0b000 -> Some (Addi (rd, rs1, i_imm))
+    | 0b010 -> Some (Slti (rd, rs1, i_imm))
+    | 0b011 -> Some (Sltiu (rd, rs1, i_imm))
+    | 0b100 -> Some (Xori (rd, rs1, i_imm))
+    | 0b110 -> Some (Ori (rd, rs1, i_imm))
+    | 0b111 -> Some (Andi (rd, rs1, i_imm))
+    | 0b001 when w lsr 26 = 0 -> Some (Slli (rd, rs1, (w lsr 20) land 0x3F))
+    | 0b101 when w lsr 26 = 0 -> Some (Srli (rd, rs1, (w lsr 20) land 0x3F))
+    | 0b101 when w lsr 26 = 0b010000 -> Some (Srai (rd, rs1, (w lsr 20) land 0x3F))
+    | _ -> None)
+  | o when o = op_load -> (
+    match funct3 with
+    | 0b011 -> Some (Ld (rd, i_imm, rs1))
+    | 0b010 -> Some (Lw (rd, i_imm, rs1))
+    | _ -> None)
+  | o when o = op_store -> (
+    match funct3 with
+    | 0b011 -> Some (Sd (rs2, s_imm, rs1))
+    | 0b010 -> Some (Sw (rs2, s_imm, rs1))
+    | _ -> None)
+  | o when o = op_branch -> (
+    match funct3 with
+    | 0b000 -> Some (Beq (rs1, rs2, b_imm))
+    | 0b001 -> Some (Bne (rs1, rs2, b_imm))
+    | 0b100 -> Some (Blt (rs1, rs2, b_imm))
+    | 0b101 -> Some (Bge (rs1, rs2, b_imm))
+    | 0b110 -> Some (Bltu (rs1, rs2, b_imm))
+    | 0b111 -> Some (Bgeu (rs1, rs2, b_imm))
+    | _ -> None)
+  | o when o = op_jal -> Some (Jal (rd, j_imm))
+  | o when o = op_jalr && funct3 = 0 -> Some (Jalr (rd, rs1, i_imm))
+  | o when o = op_lui -> Some (Lui (rd, u_imm))
+  | o when o = op_auipc -> Some (Auipc (rd, u_imm))
+  | o when o = op_system && w = op_system -> Some Ecall
+  | _ -> None
+
+(* --- disassembly ----------------------------------------------------- *)
+
+let pp ppf instr =
+  let r3 name rd rs1 rs2 = Format.fprintf ppf "%s x%d, x%d, x%d" name rd rs1 rs2 in
+  let ri name rd rs1 imm = Format.fprintf ppf "%s x%d, x%d, %d" name rd rs1 imm in
+  let mem name a imm b = Format.fprintf ppf "%s x%d, %d(x%d)" name a imm b in
+  let br name rs1 rs2 imm = Format.fprintf ppf "%s x%d, x%d, %d" name rs1 rs2 imm in
+  match instr with
+  | Add (a, b, c) -> r3 "add" a b c
+  | Sub (a, b, c) -> r3 "sub" a b c
+  | Sll (a, b, c) -> r3 "sll" a b c
+  | Slt (a, b, c) -> r3 "slt" a b c
+  | Sltu (a, b, c) -> r3 "sltu" a b c
+  | Xor (a, b, c) -> r3 "xor" a b c
+  | Srl (a, b, c) -> r3 "srl" a b c
+  | Sra (a, b, c) -> r3 "sra" a b c
+  | Or (a, b, c) -> r3 "or" a b c
+  | And (a, b, c) -> r3 "and" a b c
+  | Mul (a, b, c) -> r3 "mul" a b c
+  | Div (a, b, c) -> r3 "div" a b c
+  | Rem (a, b, c) -> r3 "rem" a b c
+  | Addi (a, b, i) -> ri "addi" a b i
+  | Slti (a, b, i) -> ri "slti" a b i
+  | Sltiu (a, b, i) -> ri "sltiu" a b i
+  | Xori (a, b, i) -> ri "xori" a b i
+  | Ori (a, b, i) -> ri "ori" a b i
+  | Andi (a, b, i) -> ri "andi" a b i
+  | Slli (a, b, i) -> ri "slli" a b i
+  | Srli (a, b, i) -> ri "srli" a b i
+  | Srai (a, b, i) -> ri "srai" a b i
+  | Ld (a, i, b) -> mem "ld" a i b
+  | Lw (a, i, b) -> mem "lw" a i b
+  | Sd (a, i, b) -> mem "sd" a i b
+  | Sw (a, i, b) -> mem "sw" a i b
+  | Beq (a, b, i) -> br "beq" a b i
+  | Bne (a, b, i) -> br "bne" a b i
+  | Blt (a, b, i) -> br "blt" a b i
+  | Bge (a, b, i) -> br "bge" a b i
+  | Bltu (a, b, i) -> br "bltu" a b i
+  | Bgeu (a, b, i) -> br "bgeu" a b i
+  | Jal (a, i) -> Format.fprintf ppf "jal x%d, %d" a i
+  | Jalr (a, b, i) -> Format.fprintf ppf "jalr x%d, %d(x%d)" a i b
+  | Lui (a, i) -> Format.fprintf ppf "lui x%d, %d" a i
+  | Auipc (a, i) -> Format.fprintf ppf "auipc x%d, %d" a i
+  | Ecall -> Format.fprintf ppf "ecall"
+
+let kind_of = function
+  | Add _ | Sub _ | Sll _ | Slt _ | Sltu _ | Xor _ | Srl _ | Sra _ | Or _ | And _ | Addi _
+  | Slti _ | Sltiu _ | Xori _ | Ori _ | Andi _ | Slli _ | Srli _ | Srai _ | Lui _ | Auipc _ ->
+    Insn.Int_alu
+  | Mul _ -> Insn.Int_mul
+  | Div _ | Rem _ -> Insn.Int_div
+  | Ld _ | Lw _ -> Insn.Load
+  | Sd _ | Sw _ -> Insn.Store
+  | Beq _ | Bne _ | Blt _ | Bge _ | Bltu _ | Bgeu _ -> Insn.Branch
+  | Jal (rd, _) -> if rd = 1 then Insn.Call else Insn.Jump
+  | Jalr (rd, rs1, _) -> if rd = 0 && rs1 = 1 then Insn.Ret else if rd = 1 then Insn.Call else Insn.Jump
+  | Ecall -> Insn.Fence

@@ -1,0 +1,76 @@
+(** RV64IM instruction encoding and decoding.
+
+    The timing layers work on the dynamic IR ({!Insn}), but the platforms
+    under study are RISC-V machines, so the ISA library also speaks the
+    real encoding: a typed representation of the RV64I base plus the M
+    extension, an encoder to 32-bit instruction words, a decoder, a
+    disassembler, and the mapping onto IR kinds the timing models charge.
+    {!Machine} executes encoded programs functionally and emits the
+    retired-instruction stream, closing the loop from machine code to
+    cycles.
+
+    Immediates are taken and returned as sign-extended OCaml ints; the
+    encoder checks their ranges.  Compressed (C) instructions and CSRs are
+    out of scope — the workloads in this study don't need them. *)
+
+type reg = int
+(** x0..x31. *)
+
+type t =
+  (* R-type *)
+  | Add of reg * reg * reg
+  | Sub of reg * reg * reg
+  | Sll of reg * reg * reg
+  | Slt of reg * reg * reg
+  | Sltu of reg * reg * reg
+  | Xor of reg * reg * reg
+  | Srl of reg * reg * reg
+  | Sra of reg * reg * reg
+  | Or of reg * reg * reg
+  | And of reg * reg * reg
+  (* M extension *)
+  | Mul of reg * reg * reg
+  | Div of reg * reg * reg
+  | Rem of reg * reg * reg
+  (* I-type *)
+  | Addi of reg * reg * int
+  | Slti of reg * reg * int
+  | Sltiu of reg * reg * int
+  | Xori of reg * reg * int
+  | Ori of reg * reg * int
+  | Andi of reg * reg * int
+  | Slli of reg * reg * int
+  | Srli of reg * reg * int
+  | Srai of reg * reg * int
+  (* loads/stores (64- and 32-bit) *)
+  | Ld of reg * int * reg  (** rd, offset(rs1) *)
+  | Lw of reg * int * reg
+  | Sd of reg * int * reg  (** rs2, offset(rs1) *)
+  | Sw of reg * int * reg
+  (* control *)
+  | Beq of reg * reg * int
+  | Bne of reg * reg * int
+  | Blt of reg * reg * int
+  | Bge of reg * reg * int
+  | Bltu of reg * reg * int
+  | Bgeu of reg * reg * int
+  | Jal of reg * int
+  | Jalr of reg * reg * int
+  (* upper immediates *)
+  | Lui of reg * int
+  | Auipc of reg * int
+  (* environment *)
+  | Ecall
+
+val encode : t -> int32
+(** Raises [Invalid_argument] on out-of-range immediates or registers. *)
+
+val decode : int32 -> t option
+(** [None] for words outside the supported subset. *)
+
+val pp : Format.formatter -> t -> unit
+(** Assembly-style disassembly ("addi x5, x0, 42"). *)
+
+val kind_of : t -> Insn.kind
+(** The IR kind the timing models charge for this instruction.  [Jal]
+    with rd=x1 is a call; [Jalr] with rd=x0, rs1=x1 is a return. *)

@@ -1,0 +1,1 @@
+lib/platform/catalog.ml: Branch Cache Config Dram Interconnect List Tlb Uarch

@@ -1,0 +1,1 @@
+lib/platform/config.ml: Cache Dram Format Interconnect Printf Tlb Uarch

@@ -1,0 +1,1 @@
+lib/platform/config.mli: Cache Dram Format Interconnect Tlb Uarch

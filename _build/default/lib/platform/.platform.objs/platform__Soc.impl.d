@@ -1,0 +1,1 @@
+lib/platform/soc.ml: Array Cache Config Dram Interconnect Option Printf Smpi Tlb Uarch Util

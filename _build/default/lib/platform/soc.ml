@@ -1,0 +1,216 @@
+type core_handle =
+  | In of Uarch.Inorder.t
+  | Oo of Uarch.Ooo.t
+
+type t = {
+  cfg : Config.t;
+  cores : core_handle array;
+  l1i : Cache.t array;
+  l1d : Cache.t array;
+  dtlb : Tlb.t array;
+  itlb : Tlb.t array;
+  l2 : Cache.t;
+  llc : Cache.t option;
+  bus : Interconnect.Bus.t;
+  dram : Dram.t;
+}
+
+type core_stats = {
+  instructions : int;
+  cycles : int;
+  loads : int;
+  stores : int;
+  mispredicts : int;
+}
+
+type result = {
+  platform : string;
+  ranks : int;
+  cycles : int;
+  seconds : float;
+  instructions : int;
+  per_core : core_stats array;
+  l1d_misses : int;
+  l1d_accesses : int;
+  l2_misses : int;
+  l2_accesses : int;
+  dram_requests : int;
+  tlb_walks : int;
+  comm : Smpi.comm_stats option;
+}
+
+(* The downstream path below the shared L2: LLC if present, then DRAM.
+   DRAM works in nanoseconds; convert at the boundary. *)
+let downstream soc =
+  let freq = Config.freq_hz soc.cfg in
+  let dram_next ~cycle ~addr ~write =
+    let t_ns = Util.Units.cycles_to_ns ~freq_hz:freq cycle in
+    let done_ns = Dram.request soc.dram ~time_ns:t_ns ~addr ~write in
+    Util.Units.ns_to_cycles ~freq_hz:freq done_ns
+  in
+  match soc.llc with
+  | None -> dram_next
+  | Some llc -> fun ~cycle ~addr ~write -> Cache.access llc ~next:dram_next ~cycle ~addr ~write
+
+(* The path from a core's private L1s down: cross the system bus, look up
+   the shared L2, and below that the downstream path.  Instruction-side
+   refills do not train the L2 stream prefetcher (it observes data-side
+   demand misses only). *)
+let l2_path soc ~prefetchable =
+  let next = downstream soc in
+  let line = soc.cfg.Config.l2.Cache.line in
+  fun ~cycle ~addr ~write ->
+    let c = Interconnect.Bus.transfer soc.bus ~cycle ~bytes:line in
+    Cache.access ~prefetchable soc.l2 ~next ~cycle:c ~addr ~write
+
+let memsys_for soc i =
+  let l2d = l2_path soc ~prefetchable:true in
+  let l2i = l2_path soc ~prefetchable:false in
+  let l1d = soc.l1d.(i) in
+  let l1i = soc.l1i.(i) in
+  let dtlb = soc.dtlb.(i) in
+  let itlb = soc.itlb.(i) in
+  {
+    Uarch.Memsys.load =
+      (fun ~cycle ~addr ~size:_ ->
+        let cycle = cycle + Tlb.translate dtlb ~addr in
+        Cache.access l1d ~next:l2d ~cycle ~addr ~write:false);
+    store =
+      (fun ~cycle ~addr ~size:_ ->
+        let cycle = cycle + Tlb.translate dtlb ~addr in
+        Cache.access l1d ~next:l2d ~cycle ~addr ~write:true);
+    ifetch =
+      (fun ~cycle ~pc ->
+        let cycle = cycle + Tlb.translate itlb ~addr:pc in
+        Cache.access l1i ~next:l2i ~cycle ~addr:pc ~write:false);
+  }
+
+let create (cfg : Config.t) =
+  let soc_partial =
+    {
+      cfg;
+      cores = [||];
+      l1i = Array.init cfg.cores (fun _ -> Cache.create cfg.l1i);
+      l1d = Array.init cfg.cores (fun _ -> Cache.create cfg.l1d);
+      dtlb = Array.init cfg.cores (fun _ -> Tlb.create cfg.dtlb);
+      itlb = Array.init cfg.cores (fun _ -> Tlb.create cfg.itlb);
+      l2 = Cache.create cfg.l2;
+      llc = Option.map Cache.create cfg.llc;
+      bus = Interconnect.Bus.create cfg.bus;
+      dram = Dram.create cfg.dram;
+    }
+  in
+  let cores =
+    Array.init cfg.cores (fun i ->
+        let mem = memsys_for soc_partial i in
+        match cfg.core with
+        | Config.Inorder c -> In (Uarch.Inorder.create c mem)
+        | Config.Ooo c -> Oo (Uarch.Ooo.create c mem))
+  in
+  { soc_partial with cores }
+
+let config soc = soc.cfg
+
+let core_feed = function
+  | In c -> Uarch.Inorder.feed c
+  | Oo c -> Uarch.Ooo.feed c
+
+let core_now = function
+  | In c -> Uarch.Inorder.now c
+  | Oo c -> Uarch.Ooo.now c
+
+let core_advance = function
+  | In c -> Uarch.Inorder.advance_to c
+  | Oo c -> Uarch.Ooo.advance_to c
+
+let core_stats_of = function
+  | In c ->
+    let s = Uarch.Inorder.stats c in
+    {
+      instructions = s.Uarch.Inorder.instructions;
+      cycles = s.cycles;
+      loads = s.loads;
+      stores = s.stores;
+      mispredicts = s.mispredicts;
+    }
+  | Oo c ->
+    let s = Uarch.Ooo.stats c in
+    {
+      instructions = s.Uarch.Ooo.instructions;
+      cycles = s.cycles;
+      loads = s.loads;
+      stores = s.stores;
+      mispredicts = s.mispredicts;
+    }
+
+let fabric soc =
+  let freq = Config.freq_hz soc.cfg in
+  let latency_cycles = Util.Units.ns_to_cycles ~freq_hz:freq (soc.cfg.Config.mpi_latency_us *. 1000.0) in
+  {
+    Smpi.latency_cycles;
+    transfer = (fun ~src:_ ~dst:_ ~cycle ~bytes -> Interconnect.Bus.transfer soc.bus ~cycle ~bytes);
+  }
+
+let collect soc ~ranks ~comm =
+  let used = Array.sub soc.cores 0 ranks in
+  let per_core = Array.map core_stats_of used in
+  let cycles = Array.fold_left (fun acc c -> max acc (core_now c)) 0 used in
+  let freq = Config.freq_hz soc.cfg in
+  let l1d_stats = Array.map Cache.stats soc.l1d in
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 l1d_stats in
+  let l2s = Cache.stats soc.l2 in
+  {
+    platform = soc.cfg.Config.name;
+    ranks;
+    cycles;
+    seconds = Util.Units.cycles_to_seconds ~freq_hz:freq cycles;
+    instructions = Array.fold_left (fun acc (s : core_stats) -> acc + s.instructions) 0 per_core;
+    per_core;
+    l1d_misses = sum (fun s -> s.Cache.misses);
+    l1d_accesses = sum (fun s -> s.Cache.accesses);
+    l2_misses = l2s.Cache.misses;
+    l2_accesses = l2s.Cache.accesses;
+    dram_requests = (Dram.stats soc.dram).Dram.requests;
+    tlb_walks =
+      Array.fold_left (fun acc tlb -> acc + (Tlb.stats tlb).Tlb.walks) 0 soc.dtlb
+      + Array.fold_left (fun acc tlb -> acc + (Tlb.stats tlb).Tlb.walks) 0 soc.itlb;
+    comm;
+  }
+
+let run_ranks ?quantum soc program =
+  let ranks = Array.length program in
+  if ranks > soc.cfg.Config.cores then
+    invalid_arg
+      (Printf.sprintf "Soc.run_ranks: %d ranks on %d cores (%s)" ranks soc.cfg.Config.cores
+         soc.cfg.Config.name);
+  let ifaces =
+    Array.init ranks (fun r ->
+        let core = soc.cores.(r) in
+        {
+          Smpi.feed = core_feed core;
+          now = (fun () -> core_now core);
+          advance_to = core_advance core;
+        })
+  in
+  let comm = Smpi.Engine.run ?quantum (fabric soc) ifaces program in
+  collect soc ~ranks ~comm:(Some comm)
+
+let run_stream soc stream =
+  (match soc.cores.(0) with
+  | In c -> Uarch.Inorder.run c stream
+  | Oo c -> Uarch.Ooo.run c stream);
+  collect soc ~ranks:1 ~comm:None
+
+let memsys_of_core soc i = memsys_for soc i
+
+let core_iface soc i =
+  let core = soc.cores.(i) in
+  {
+    Smpi.feed = core_feed core;
+    now = (fun () -> core_now core);
+    advance_to = core_advance core;
+  }
+
+let local_transfer soc ~cycle ~bytes = Interconnect.Bus.transfer soc.bus ~cycle ~bytes
+let mpi_latency_cycles soc = (fabric soc).Smpi.latency_cycles
+let collect_result soc ~ranks ~comm = collect soc ~ranks ~comm

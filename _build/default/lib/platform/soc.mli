@@ -1,0 +1,65 @@
+(** SoC instantiation and workload execution.
+
+    [create] assembles the full timing stack described by a {!Config.t}:
+    per-core L1I/L1D, the shared banked L2, the optional LLC, the system
+    bus between the private and shared levels, and the DRAM channels
+    behind everything.  [run_ranks] then co-simulates a multi-rank MPI
+    program on it; [run_stream] is the single-stream convenience used by
+    the microbenchmarks.
+
+    A fresh [t] should be created per measurement: caches start cold
+    (kernels are expected to include their own warmup phase, as the
+    MicroBench suite does). *)
+
+type t
+
+type core_stats = {
+  instructions : int;
+  cycles : int;
+  loads : int;
+  stores : int;
+  mispredicts : int;
+}
+
+type result = {
+  platform : string;
+  ranks : int;
+  cycles : int;  (** completion cycle of the slowest rank *)
+  seconds : float;  (** target wall-clock: cycles / core frequency *)
+  instructions : int;  (** total retired over all ranks *)
+  per_core : core_stats array;
+  l1d_misses : int;
+  l1d_accesses : int;
+  l2_misses : int;
+  l2_accesses : int;
+  dram_requests : int;
+  tlb_walks : int;  (** page-table walks over all cores (D + I side) *)
+  comm : Smpi.comm_stats option;
+}
+
+val create : Config.t -> t
+
+val config : t -> Config.t
+
+val run_ranks : ?quantum:int -> t -> Smpi.program -> result
+(** Run an MPI program with as many ranks as the program has (must not
+    exceed the platform's core count). *)
+
+val run_stream : t -> Isa.Insn.t Seq.t -> result
+(** Run a single instruction stream on core 0. *)
+
+val memsys_of_core : t -> int -> Uarch.Memsys.t
+(** Expose a core's memory-system interface (for tests and calibration). *)
+
+val core_iface : t -> int -> Smpi.rank_iface
+(** Expose core [i] as an MPI rank interface — the building block the
+    multi-node engine ({!Firesim.Multinode}) composes across SoCs. *)
+
+val local_transfer : t -> cycle:int -> bytes:int -> int
+(** A transfer through this SoC's shared bus (intra-node MPI traffic). *)
+
+val mpi_latency_cycles : t -> int
+(** The configured shared-memory MPI latency in this SoC's cycles. *)
+
+val collect_result : t -> ranks:int -> comm:Smpi.comm_stats option -> result
+(** Snapshot this SoC's statistics for its first [ranks] cores. *)

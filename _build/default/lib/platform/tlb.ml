@@ -1,0 +1,93 @@
+type config = {
+  name : string;
+  l1_entries : int;
+  l2_entries : int;
+  page_bytes : int;
+  l2_latency : int;
+  walk_latency : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let config ?(page_bytes = 4096) ?(l2_latency = 8) ?(walk_latency = 40) ~name ~l1_entries
+    ~l2_entries () =
+  if l1_entries <= 0 then invalid_arg "Tlb.config: l1_entries";
+  if l2_entries < 0 then invalid_arg "Tlb.config: l2_entries";
+  if not (is_pow2 page_bytes) then invalid_arg "Tlb.config: page_bytes";
+  if l2_entries > 0 && not (is_pow2 l2_entries) then invalid_arg "Tlb.config: l2_entries";
+  { name; l1_entries; l2_entries; page_bytes; l2_latency; walk_latency }
+
+let firesim_rocket = config ~name:"rocket-tlb" ~l1_entries:32 ~l2_entries:0 ()
+let firesim_boom = config ~name:"boom-tlb" ~l1_entries:32 ~l2_entries:1024 ()
+let silicon = config ~name:"silicon-tlb" ~l1_entries:64 ~l2_entries:2048 ~walk_latency:32 ()
+
+type stats = {
+  accesses : int;
+  l1_misses : int;
+  walks : int;
+}
+
+type t = {
+  cfg : config;
+  l1_pages : int array;  (* fully associative: page numbers, -1 invalid *)
+  l1_use : int array;
+  l2_pages : int array;  (* direct mapped *)
+  mutable clock : int;
+  mutable s_accesses : int;
+  mutable s_l1_misses : int;
+  mutable s_walks : int;
+}
+
+let create cfg =
+  {
+    cfg;
+    l1_pages = Array.make cfg.l1_entries (-1);
+    l1_use = Array.make cfg.l1_entries 0;
+    l2_pages = Array.make (max 1 cfg.l2_entries) (-1);
+    clock = 0;
+    s_accesses = 0;
+    s_l1_misses = 0;
+    s_walks = 0;
+  }
+
+let page_shift cfg =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 cfg.page_bytes
+
+let translate t ~addr =
+  t.s_accesses <- t.s_accesses + 1;
+  t.clock <- t.clock + 1;
+  let page = addr lsr page_shift t.cfg in
+  (* Fully associative L1 lookup. *)
+  let rec find i = if i >= t.cfg.l1_entries then -1 else if t.l1_pages.(i) = page then i else find (i + 1) in
+  let slot = find 0 in
+  if slot >= 0 then begin
+    t.l1_use.(slot) <- t.clock;
+    0
+  end
+  else begin
+    t.s_l1_misses <- t.s_l1_misses + 1;
+    (* LRU victim in L1. *)
+    let victim = ref 0 in
+    for i = 1 to t.cfg.l1_entries - 1 do
+      if t.l1_use.(i) < t.l1_use.(!victim) then victim := i
+    done;
+    t.l1_pages.(!victim) <- page;
+    t.l1_use.(!victim) <- t.clock;
+    if t.cfg.l2_entries > 0 then begin
+      let idx = page land (t.cfg.l2_entries - 1) in
+      if t.l2_pages.(idx) = page then t.cfg.l2_latency
+      else begin
+        t.s_walks <- t.s_walks + 1;
+        t.l2_pages.(idx) <- page;
+        t.cfg.walk_latency
+      end
+    end
+    else begin
+      t.s_walks <- t.s_walks + 1;
+      t.cfg.walk_latency
+    end
+  end
+
+let stats t = { accesses = t.s_accesses; l1_misses = t.s_l1_misses; walks = t.s_walks }
+let reach_bytes cfg = cfg.l1_entries * cfg.page_bytes

@@ -1,0 +1,1 @@
+lib/prog/gen.ml: Isa List Seq

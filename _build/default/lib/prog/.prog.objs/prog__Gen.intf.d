@@ -1,0 +1,1 @@
+lib/prog/gen.mli: Isa Seq

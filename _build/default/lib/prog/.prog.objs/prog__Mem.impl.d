@@ -1,0 +1,1 @@
+lib/prog/mem.ml: Array Int64 Util

@@ -1,0 +1,1 @@
+lib/prog/mem.mli: Util

@@ -1,0 +1,1 @@
+lib/prog/outcome.ml: Array Int64

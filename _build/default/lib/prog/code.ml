@@ -1,0 +1,17 @@
+type allocator = { mutable next : int }
+type region = { base : int; slots : int }
+
+let create_allocator ?(text_base = 0x10000) () = { next = text_base }
+
+let alloc a ~slots =
+  if slots <= 0 then invalid_arg "Code.alloc: slots must be positive";
+  (* Align regions to icache lines so footprints are as the kernel intends. *)
+  let aligned = (a.next + 63) land lnot 63 in
+  a.next <- aligned + (slots * 4);
+  { base = aligned; slots }
+
+let pc r slot =
+  assert (slot >= 0 && slot < r.slots);
+  r.base + (slot * 4)
+
+let footprint_bytes r = r.slots * 4

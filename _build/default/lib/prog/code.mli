@@ -1,0 +1,27 @@
+(** Static code layout.
+
+    Instruction-cache behaviour depends on the *footprint* of the code a
+    kernel executes, so kernels allocate static code regions here and draw
+    their PCs from them.  A region is a contiguous range of 4-byte
+    instruction slots; [pc region slot] addresses one slot.  Distinct
+    kernels and distinct functions within a kernel allocate distinct
+    regions, so a kernel calling many functions (the MIP microbenchmark,
+    large-basic-block control kernels, application codes) naturally sweeps a
+    large PC range and stresses the L1I model. *)
+
+type allocator
+(** Bump allocator over a text segment. *)
+
+type region = { base : int; slots : int }
+
+val create_allocator : ?text_base:int -> unit -> allocator
+(** Fresh text segment; default base 0x10000. *)
+
+val alloc : allocator -> slots:int -> region
+(** Allocate a region of [slots] 4-byte instruction slots, 64-byte aligned
+    so regions start on a fresh icache line. *)
+
+val pc : region -> int -> int
+(** [pc r slot] is the byte PC of slot [slot] (asserts bounds). *)
+
+val footprint_bytes : region -> int

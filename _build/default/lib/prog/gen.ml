@@ -1,0 +1,26 @@
+type t = Isa.Insn.t Seq.t
+
+let empty = Seq.empty
+let of_list = List.to_seq
+let append = Seq.append
+let concat ts = List.fold_left Seq.append Seq.empty ts
+
+let repeat n s =
+  let rec go i () = if i >= n then Seq.Nil else Seq.append s (go (i + 1)) () in
+  if n <= 0 then Seq.empty else go 0
+
+let iterate n f =
+  let rec go i () = if i >= n then Seq.Nil else Seq.append (f i) (go (i + 1)) () in
+  if n <= 0 then Seq.empty else go 0
+
+let unfold init step =
+  let rec go state () =
+    match step state with
+    | None -> Seq.Nil
+    | Some (burst, state') -> Seq.append (List.to_seq burst) (go state') ()
+  in
+  go init
+
+let length s = Seq.fold_left (fun n _ -> n + 1) 0 s
+let take = Seq.take
+let count_kind p s = Seq.fold_left (fun n (i : Isa.Insn.t) -> if p i.kind then n + 1 else n) 0 s

@@ -1,0 +1,40 @@
+(** Address-pattern generators.
+
+    Each pattern is a pure function from *position* (the index of the access
+    within the kernel's access stream) to a byte address.  Purity keeps
+    instruction streams re-traversable; patterns that need randomness
+    precompute their layout eagerly (footprints are bounded) or derive it
+    from a stateless position hash. *)
+
+type fn = int -> int
+(** [fn pos] is the address of the [pos]-th access. *)
+
+val strided : base:int -> elem:int -> stride_elems:int -> wrap_elems:int -> fn
+(** Classic strided sweep: address [base + ((pos * stride_elems) mod
+    wrap_elems) * elem].  [elem] is the element size in bytes. *)
+
+val linear : base:int -> elem:int -> fn
+(** Dense sweep with no wrap: [base + pos*elem]. *)
+
+val chase : Util.Rng.t -> base:int -> bytes:int -> stride:int -> fn
+(** Pointer-chase order over a footprint of [bytes] bytes divided into
+    nodes of [stride] bytes: a random Hamiltonian cycle over the nodes,
+    precomputed.  Successive positions follow the cycle, so each access
+    depends on the previous one having loaded the pointer — callers must
+    also express that dependence in registers. *)
+
+val random_in : seed:int -> base:int -> bytes:int -> align:int -> fn
+(** Uniformly random aligned address within [base, base+bytes), derived
+    from a stateless hash of [seed] and the position. *)
+
+val conflict : base:int -> line:int -> sets:int -> distinct:int -> fn
+(** Addresses that all map to cache set 0 of a cache with [sets] sets and
+    [line]-byte lines, cycling over [distinct] distinct lines: position
+    [pos] touches line [pos mod distinct], at address
+    [base + (pos mod distinct) * sets * line].  With [distinct] > the
+    associativity this defeats LRU and produces conflict misses. *)
+
+val gather : int array -> elem:int -> base:int -> fn
+(** Indexed gather: position [pos] touches [base + index.(pos mod n) * elem]
+    — the access pattern of indirection through a precomputed map (UME,
+    CG's column indices, IS's histogram). *)

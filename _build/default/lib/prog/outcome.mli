@@ -1,0 +1,29 @@
+(** Branch-outcome patterns.
+
+    Like {!Mem}, outcomes are pure functions of position so streams stay
+    re-traversable.  These patterns realize the MicroBench control-flow
+    taxonomy: completely biased, heavily biased, alternating, random, and
+    fixed repeating patterns. *)
+
+type fn = int -> bool
+(** [fn pos] is whether the [pos]-th execution of the branch is taken. *)
+
+val always : bool -> fn
+val alternating : fn
+(** Taken on even positions. *)
+
+val every_nth : int -> fn
+(** Taken exactly when [pos mod n = 0]. *)
+
+val biased : seed:int -> p_taken:float -> fn
+(** Taken with probability [p_taken], stateless per position. *)
+
+val random : seed:int -> fn
+(** Fair coin per position — the "impossible to predict" pattern. *)
+
+val pattern : bool array -> fn
+(** Fixed repeating pattern. *)
+
+val data_dependent : int array -> threshold:int -> fn
+(** Taken when the positioned data value exceeds [threshold]: outcomes that
+    follow a real data array, as in sorting/merging kernels. *)

@@ -1,0 +1,40 @@
+let bar ~width ~max_value v =
+  if max_value <= 0.0 then String.make 0 '#'
+  else
+    let n = int_of_float (Float.round (v /. max_value *. float_of_int width)) in
+    String.make (max 0 (min width n)) '#'
+
+let grouped_bars ?(width = 40) ?reference ~title ~groups () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (title ^ "\n");
+  let all_values = List.concat_map (fun (_, s) -> List.map snd s) groups in
+  let max_value = List.fold_left Float.max 0.0 all_values in
+  let max_value = match reference with Some r -> Float.max max_value r | None -> max_value in
+  let label_w =
+    List.fold_left
+      (fun acc (g, series) ->
+        List.fold_left (fun a (s, _) -> max a (String.length g + String.length s + 1)) acc series)
+      0 groups
+  in
+  let ref_col =
+    Option.map (fun r -> int_of_float (Float.round (r /. max_value *. float_of_int width))) reference
+  in
+  List.iter
+    (fun (g, series) ->
+      List.iter
+        (fun (s, v) ->
+          let label = g ^ "/" ^ s in
+          let pad = String.make (label_w - String.length label) ' ' in
+          let b = bar ~width ~max_value v in
+          let b =
+            match ref_col with
+            | Some c when c >= 0 && c <= width ->
+              let padded = b ^ String.make (max 0 (width - String.length b)) ' ' in
+              String.mapi (fun i ch -> if i = c then (if ch = '#' then '#' else '|') else ch) padded
+            | _ -> b
+          in
+          Buffer.add_string buf (Printf.sprintf "  %s%s  %s %.3f\n" label pad b v))
+        series;
+      Buffer.add_char buf '\n')
+    groups;
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(** ASCII bar charts for figure regeneration.
+
+    The paper's figures are grouped bar charts of relative speedup with a
+    target line at 1.0; [grouped_bars] renders the same shape in text,
+    with a `|` marking the 1.0 reference when it falls inside the plotted
+    range. *)
+
+val bar : width:int -> max_value:float -> float -> string
+(** A single bar scaled so [max_value] fills [width] characters. *)
+
+val grouped_bars :
+  ?width:int ->
+  ?reference:float ->
+  title:string ->
+  groups:(string * (string * float) list) list ->
+  unit ->
+  string
+(** [groups] is [(group_label, [(series_label, value); ...]); ...].
+    Renders one bar per (group, series) with labels, values, and an
+    optional reference marker. *)

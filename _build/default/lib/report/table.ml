@@ -1,0 +1,41 @@
+type t = {
+  headers : string list;
+  mutable rows : string list list;  (* reversed *)
+}
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Table.add_row: width mismatch";
+  t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.length t.headers in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let line row =
+    String.concat "  "
+      (List.map2 (fun cell w -> cell ^ String.make (w - String.length cell) ' ') row widths)
+  in
+  let rule = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" ((line t.headers :: rule :: List.map line rows) @ [ "" ])
+
+let quote s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let rows = t.headers :: List.rev t.rows in
+  String.concat "\n" (List.map (fun row -> String.concat "," (List.map quote row)) rows) ^ "\n"
+
+let cell_f v =
+  if Float.is_integer v && Float.abs v < 1e6 then Printf.sprintf "%.0f" v
+  else if Float.abs v >= 100.0 then Printf.sprintf "%.1f" v
+  else if Float.abs v >= 1.0 then Printf.sprintf "%.3f" v
+  else Printf.sprintf "%.4f" v

@@ -1,0 +1,14 @@
+(** Plain-text table rendering for experiment output. *)
+
+type t
+
+val create : headers:string list -> t
+val add_row : t -> string list -> unit
+val render : t -> string
+(** Monospace table with aligned columns and a header rule. *)
+
+val to_csv : t -> string
+(** The same data as CSV (RFC-4180-style quoting). *)
+
+val cell_f : float -> string
+(** Canonical float formatting for table cells (4 significant digits). *)

@@ -1,0 +1,1 @@
+lib/uarch/inorder.ml: Array Branch Isa Memsys Seq Slots

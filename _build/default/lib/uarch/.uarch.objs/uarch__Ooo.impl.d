@@ -1,0 +1,1 @@
+lib/uarch/ooo.ml: Array Branch Isa Memsys Seq Slots

@@ -1,0 +1,1 @@
+lib/uarch/ooo.mli: Branch Isa Memsys Seq

@@ -1,0 +1,210 @@
+type config = {
+  name : string;
+  freq_hz : float;
+  fetch_width : int;
+  issue_width : int;
+  pipeline_stages : int;
+  mispredict_penalty : int;
+  mem_ports : int;
+  store_buffer : int;
+  load_queue : int;  (* max loads outstanding before issue stalls *)
+  latencies : Isa.Insn.Latency.table;
+  frontend : Branch.Frontend.config;
+}
+
+let rocket ?(name = "rocket") ?(freq_hz = 1.6e9) () =
+  {
+    name;
+    freq_hz;
+    fetch_width = 2;
+    issue_width = 1;
+    pipeline_stages = 5;
+    mispredict_penalty = 3;
+    mem_ports = 1;
+    store_buffer = 8;
+    load_queue = 4;
+    latencies = Isa.Insn.Latency.default;
+    frontend = Branch.Frontend.rocket_config;
+  }
+
+let k1 ?(name = "spacemit-k1") ?(freq_hz = 1.6e9) () =
+  {
+    name;
+    freq_hz;
+    fetch_width = 4;
+    issue_width = 2;
+    pipeline_stages = 8;
+    (* deep pipe but branches resolve early; redirect is cheaper than
+       depth-2 would suggest *)
+    mispredict_penalty = 4;
+    mem_ports = 1;
+    store_buffer = 12;
+    load_queue = 8;
+    latencies = Isa.Insn.Latency.default;
+    frontend = { Branch.Frontend.rocket_config with btb_entries = 64; ras_entries = 16 };
+  }
+
+type stats = {
+  instructions : int;
+  cycles : int;
+  loads : int;
+  stores : int;
+  mispredicts : int;
+  ipc : float;
+}
+
+type t = {
+  cfg : config;
+  mem : Memsys.t;
+  frontend : Branch.Frontend.t;
+  reg_ready : int array;
+  issue_slots : Slots.t;
+  mem_port : Slots.t;
+  store_buf : int array;  (* completion times of buffered stores *)
+  load_q : int array;  (* completion times of outstanding loads *)
+  mutable fetch_line : int;  (* icache line currently streaming *)
+  mutable fetch_ready : int;  (* cycle the current fetch group is available *)
+  mutable restart : int;  (* pipeline restart barrier after mispredicts/fences *)
+  mutable div_free : int;  (* unpipelined long-latency unit *)
+  mutable frontier : int;  (* max completion seen *)
+  mutable n_insns : int;
+  mutable n_loads : int;
+  mutable n_stores : int;
+}
+
+
+let create cfg mem =
+  {
+    cfg;
+    mem;
+    frontend = Branch.Frontend.create cfg.frontend;
+    reg_ready = Array.make Isa.Insn.num_regs 0;
+    issue_slots = Slots.create ~width:cfg.issue_width;
+    mem_port = Slots.create ~width:cfg.mem_ports;
+    store_buf = Array.make (max 1 cfg.store_buffer) 0;
+    load_q = Array.make (max 1 cfg.load_queue) 0;
+    fetch_line = -1;
+    fetch_ready = 0;
+    restart = 0;
+    div_free = 0;
+    frontier = 0;
+    n_insns = 0;
+    n_loads = 0;
+    n_stores = 0;
+  }
+
+let bump t c = if c > t.frontier then t.frontier <- c
+
+let src_ready t (i : Isa.Insn.t) =
+  let r1 = if i.src1 = Isa.Insn.zero_reg then 0 else t.reg_ready.(i.src1) in
+  let r2 = if i.src2 = Isa.Insn.zero_reg then 0 else t.reg_ready.(i.src2) in
+  max r1 r2
+
+let set_dst t (i : Isa.Insn.t) cycle =
+  if i.dst <> Isa.Insn.zero_reg then t.reg_ready.(i.dst) <- cycle
+
+(* Demand-fetch the icache line holding [pc] if the frontend moved to a new
+   line; a taken transfer also restarts line streaming. *)
+let fetch t pc earliest =
+  let line = pc lsr 6 in
+  if line <> t.fetch_line then begin
+    t.fetch_line <- line;
+    t.fetch_ready <- t.mem.Memsys.ifetch ~cycle:earliest ~pc
+  end;
+  max earliest t.fetch_ready
+
+let grab_slot q earliest =
+  let best = ref 0 in
+  for i = 1 to Array.length q - 1 do
+    if q.(i) < q.(!best) then best := i
+  done;
+  (!best, max earliest q.(!best))
+
+let feed t (i : Isa.Insn.t) =
+  t.n_insns <- t.n_insns + 1;
+  let earliest = max t.restart (src_ready t i) in
+  let earliest = fetch t i.pc earliest in
+  let issue = Slots.alloc t.issue_slots earliest in
+  let lat = Isa.Insn.Latency.of_kind t.cfg.latencies i.kind in
+  (match i.kind with
+  | Load | Amo ->
+    t.n_loads <- t.n_loads + 1;
+    (* A full load queue backs the whole pipeline up: nothing younger
+       issues until an outstanding load completes. *)
+    let q, qready = grab_slot t.load_q issue in
+    if qready > issue then Slots.advance t.issue_slots qready;
+    let slot = Slots.alloc t.mem_port qready in
+    let mem = match i.mem with Some m -> m | None -> assert false in
+    let extra = if i.kind = Amo then t.cfg.latencies.amo else 0 in
+    let done_ = t.mem.Memsys.load ~cycle:(slot + 1) ~addr:mem.addr ~size:mem.size + extra in
+    t.load_q.(q) <- done_;
+    set_dst t i done_;
+    bump t done_
+  | Store ->
+    t.n_stores <- t.n_stores + 1;
+    let slot = Slots.alloc t.mem_port issue in
+    let mem = match i.mem with Some m -> m | None -> assert false in
+    let buf, drain_start = grab_slot t.store_buf (slot + 1) in
+    (* A full store buffer likewise stalls the pipeline. *)
+    if drain_start > slot + 1 then Slots.advance t.issue_slots drain_start;
+    let done_ = t.mem.Memsys.store ~cycle:drain_start ~addr:mem.addr ~size:mem.size in
+    t.store_buf.(buf) <- done_;
+    (* The store leaves the pipeline once buffered; completion is off the
+       critical path unless the buffer backs up. *)
+    bump t (slot + 1)
+  | Branch | Jump | Call | Ret ->
+    let correct = Branch.Frontend.resolve t.frontend i in
+    let resolve = issue + 1 in
+    if not correct then t.restart <- max t.restart (resolve + t.cfg.mispredict_penalty);
+    (match i.ctrl with
+    | Some { taken = true; target } ->
+      (* A correctly predicted taken transfer was already steered by the
+         BTB: fetch follows seamlessly, paying the icache only when the
+         target sits on a different line.  A mispredict refetches after
+         resolution. *)
+      let tline = target lsr 6 in
+      if (not correct) || tline <> t.fetch_line then begin
+        t.fetch_line <- tline;
+        let at = if correct then issue else resolve in
+        t.fetch_ready <- t.mem.Memsys.ifetch ~cycle:at ~pc:target
+      end
+    | _ -> ());
+    set_dst t i resolve;
+    bump t resolve
+  | Int_div | Fp_div | Fp_long ->
+    (* Unpipelined unit: one in flight. *)
+    let start = max issue t.div_free in
+    let done_ = start + lat in
+    t.div_free <- done_;
+    set_dst t i done_;
+    bump t done_
+  | Fence ->
+    let done_ = max issue t.frontier + lat in
+    t.restart <- max t.restart done_;
+    bump t done_
+  | Int_alu | Int_mul | Fp_add | Fp_mul | Fp_cvt | Nop ->
+    let done_ = issue + lat in
+    set_dst t i done_;
+    bump t done_)
+
+let run t stream = Seq.iter (feed t) stream
+let now t = t.frontier
+
+let advance_to t cycle =
+  if cycle > t.frontier then begin
+    t.frontier <- cycle;
+    t.restart <- max t.restart cycle
+  end
+
+let stats t =
+  let fs = Branch.Frontend.stats t.frontend in
+  {
+    instructions = t.n_insns;
+    cycles = t.frontier;
+    loads = t.n_loads;
+    stores = t.n_stores;
+    mispredicts = fs.Branch.Frontend.mispredicts;
+    ipc = (if t.frontier = 0 then 0.0 else float_of_int t.n_insns /. float_of_int t.frontier);
+  }
+
+let config_of t = t.cfg

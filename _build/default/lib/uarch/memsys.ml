@@ -1,0 +1,12 @@
+type t = {
+  load : cycle:int -> addr:int -> size:int -> int;
+  store : cycle:int -> addr:int -> size:int -> int;
+  ifetch : cycle:int -> pc:int -> int;
+}
+
+let ideal ~latency =
+  {
+    load = (fun ~cycle ~addr:_ ~size:_ -> cycle + latency);
+    store = (fun ~cycle ~addr:_ ~size:_ -> cycle + latency);
+    ifetch = (fun ~cycle ~pc:_ -> cycle + latency);
+  }

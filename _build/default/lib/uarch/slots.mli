@@ -1,0 +1,20 @@
+(** Per-cycle slot allocation.
+
+    Timing models are instruction-ordered, not cycle-stepped, so width
+    constraints ("at most W per cycle") are enforced by this tiny
+    allocator: it hands out cycles monotonically, granting at most [width]
+    allocations per cycle. *)
+
+type t
+
+val create : width:int -> t
+
+val alloc : t -> int -> int
+(** [alloc t earliest] grants a slot at the first cycle >= [earliest] (and
+    >= any previously granted cycle) with spare width, and returns it. *)
+
+val advance : t -> int -> unit
+(** [advance t c] forbids grants before cycle [c]: the pipeline stage this
+    allocator models is stalled until then. *)
+
+val reset : t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/lammps.ml: Array Codegen Emit Float Hashtbl Isa List Option Prog Seq Smpi Util Workload

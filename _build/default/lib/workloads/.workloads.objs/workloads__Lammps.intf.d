@@ -1,0 +1,1 @@
+lib/workloads/lammps.mli: Codegen Smpi Workload

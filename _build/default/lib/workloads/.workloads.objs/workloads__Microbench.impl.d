@@ -1,0 +1,1 @@
+lib/workloads/microbench.ml: Array Emit Float Isa List Option Prog Util Workload

@@ -1,0 +1,1 @@
+lib/workloads/npb.ml: Array Codegen Emit Int64 Isa List Prog Smpi Util Workload

@@ -1,0 +1,1 @@
+lib/workloads/ume.ml: Array Codegen Emit Isa List Prog Smpi Util Workload

@@ -1,0 +1,1 @@
+lib/workloads/ume.mli: Codegen Smpi Workload

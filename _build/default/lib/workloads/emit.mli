@@ -1,0 +1,46 @@
+(** Shared instruction-emission helpers for workload construction.
+
+    All workloads (microbenchmarks and applications) build their streams
+    from these primitives: smart constructors per instruction kind, a
+    fresh-code-region helper, and the canonical counted-loop wrapper that
+    appends the loop increment + backward branch every compiled loop has.
+
+    Register conventions (shared so kernels compose predictably):
+    r1 = loop counter, r3 = pointer-chase register, r4..r11 = independent
+    accumulators, r12..r15 = temporaries, r20..r23 = load targets. *)
+
+val rctr : int
+val rptr : int
+val racc : int -> int
+(** [racc i] cycles through the 8 accumulator registers. *)
+
+val rtmp : int
+val rtmp2 : int
+val rval : int
+(** First load-target register (r20). *)
+
+val scaled : float -> int -> int
+(** [scaled scale n] scales an iteration count (minimum 16). *)
+
+val fresh_region : slots:int -> Prog.Code.region
+(** Allocate an isolated static code region. *)
+
+val alu : pc:int -> ?dst:int -> ?src1:int -> ?src2:int -> unit -> Isa.Insn.t
+val mul : pc:int -> dst:int -> src1:int -> unit -> Isa.Insn.t
+val fp : pc:int -> kind:Isa.Insn.kind -> dst:int -> src1:int -> ?src2:int -> unit -> Isa.Insn.t
+val load : pc:int -> dst:int -> addr:int -> ?src1:int -> unit -> Isa.Insn.t
+val store : pc:int -> addr:int -> ?src1:int -> ?src2:int -> unit -> Isa.Insn.t
+val branch : pc:int -> taken:bool -> target:int -> ?src1:int -> unit -> Isa.Insn.t
+val jump : pc:int -> target:int -> unit -> Isa.Insn.t
+val call : pc:int -> target:int -> unit -> Isa.Insn.t
+val ret : pc:int -> target:int -> unit -> Isa.Insn.t
+
+val with_loop :
+  Prog.Code.region ->
+  iters:int ->
+  body_slots:int ->
+  body:(int -> Isa.Insn.t list) ->
+  Isa.Insn.t Seq.t
+(** Counted loop: per iteration [body pos] plus increment + backward
+    branch (taken except on the last iteration).  [body_slots] is the
+    first free slot in the region for the loop overhead. *)

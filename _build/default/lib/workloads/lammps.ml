@@ -1,0 +1,445 @@
+module Gen = Prog.Gen
+module E = Emit
+
+type style = Lj | Chain
+
+type trajectory = {
+  atoms : int;
+  steps : int;
+  box : float;
+  potential_energy : float array;
+  kinetic_energy : float array;
+  pair_count : int array;
+}
+
+(* Recorded per-step work, used by the emission layer. *)
+type step_record = {
+  pairs : (int * int * bool) array;  (* (i, j, within cutoff) *)
+  bonds_r : (int * int) array;
+  rebuilt : bool;
+}
+
+type sim = {
+  style : style;
+  n : int;
+  box : float;
+  x : float array;
+  y : float array;
+  z : float array;
+  vx : float array;
+  vy : float array;
+  vz : float array;
+  fx : float array;
+  fy : float array;
+  fz : float array;
+  bonds : (int * int) array;
+}
+
+let dt = 0.005
+let skin = 0.3
+
+let cutoff = function Lj -> 2.5 | Chain -> Float.pow 2.0 (1.0 /. 6.0)
+
+let pbc box d =
+  if d > box /. 2.0 then d -. box else if d < -.box /. 2.0 then d +. box else d
+
+let init ?(seed = 0x7A) ~style ~atoms () =
+  let rng = Util.Rng.create seed in
+  let density = match style with Lj -> 0.8 | Chain -> 0.7 in
+  let box = Float.cbrt (float_of_int atoms /. density) in
+  let x = Array.make atoms 0.0
+  and y = Array.make atoms 0.0
+  and z = Array.make atoms 0.0 in
+  let bonds =
+    match style with
+    | Lj ->
+      (* Perturbed simple-cubic lattice. *)
+      let side = int_of_float (Float.ceil (Float.cbrt (float_of_int atoms))) in
+      let spacing = box /. float_of_int side in
+      for i = 0 to atoms - 1 do
+        let ix = i mod side and iy = i / side mod side and iz = i / (side * side) in
+        let jitter () = Util.Rng.float rng 0.1 -. 0.05 in
+        x.(i) <- (float_of_int ix +. 0.5) *. spacing +. jitter ();
+        y.(i) <- (float_of_int iy +. 0.5) *. spacing +. jitter ();
+        z.(i) <- (float_of_int iz +. 0.5) *. spacing +. jitter ()
+      done;
+      [||]
+    | Chain ->
+      (* Random-walk chains of 25 beads, bond length ~0.97. *)
+      let chain_len = 25 in
+      let bonds = ref [] in
+      for i = 0 to atoms - 1 do
+        if i mod chain_len = 0 then begin
+          x.(i) <- Util.Rng.float rng box;
+          y.(i) <- Util.Rng.float rng box;
+          z.(i) <- Util.Rng.float rng box
+        end
+        else begin
+          let theta = Util.Rng.float rng (2.0 *. Float.pi) in
+          let cphi = Util.Rng.float rng 2.0 -. 1.0 in
+          let sphi = sqrt (max 0.0 (1.0 -. (cphi *. cphi))) in
+          let b = 0.97 in
+          let wrap v = v -. (box *. Float.floor (v /. box)) in
+          x.(i) <- wrap (x.(i - 1) +. (b *. sphi *. cos theta));
+          y.(i) <- wrap (y.(i - 1) +. (b *. sphi *. sin theta));
+          z.(i) <- wrap (z.(i - 1) +. (b *. cphi));
+          bonds := (i - 1, i) :: !bonds
+        end
+      done;
+      Array.of_list (List.rev !bonds)
+  in
+  let vx = Array.init atoms (fun _ -> Util.Rng.gaussian rng ~mu:0.0 ~sigma:1.0) in
+  let vy = Array.init atoms (fun _ -> Util.Rng.gaussian rng ~mu:0.0 ~sigma:1.0) in
+  let vz = Array.init atoms (fun _ -> Util.Rng.gaussian rng ~mu:0.0 ~sigma:1.0) in
+  (* Remove net momentum. *)
+  let center v =
+    let m = Array.fold_left ( +. ) 0.0 v /. float_of_int atoms in
+    Array.iteri (fun i vi -> v.(i) <- vi -. m) v
+  in
+  center vx;
+  center vy;
+  center vz;
+  {
+    style;
+    n = atoms;
+    box;
+    x;
+    y;
+    z;
+    vx;
+    vy;
+    vz;
+    fx = Array.make atoms 0.0;
+    fy = Array.make atoms 0.0;
+    fz = Array.make atoms 0.0;
+    bonds;
+  }
+
+(* Half neighbor list via cell binning (all-pairs fallback for boxes too
+   small to bin). *)
+let build_neighbors sim =
+  let rc = cutoff sim.style +. skin in
+  let rc2 = rc *. rc in
+  let pairs = ref [] in
+  let consider i j =
+    let dx = pbc sim.box (sim.x.(i) -. sim.x.(j)) in
+    let dy = pbc sim.box (sim.y.(i) -. sim.y.(j)) in
+    let dz = pbc sim.box (sim.z.(i) -. sim.z.(j)) in
+    if (dx *. dx) +. (dy *. dy) +. (dz *. dz) <= rc2 then pairs := (i, j) :: !pairs
+  in
+  let ncell = int_of_float (sim.box /. rc) in
+  if ncell < 3 then
+    for i = 0 to sim.n - 1 do
+      for j = i + 1 to sim.n - 1 do
+        consider i j
+      done
+    done
+  else begin
+    let cell_of i =
+      let c v = int_of_float (v /. sim.box *. float_of_int ncell) mod ncell in
+      (c sim.x.(i) * ncell * ncell) + (c sim.y.(i) * ncell) + c sim.z.(i)
+    in
+    let cells = Hashtbl.create 256 in
+    for i = 0 to sim.n - 1 do
+      let c = cell_of i in
+      Hashtbl.replace cells c (i :: (Option.value ~default:[] (Hashtbl.find_opt cells c)))
+    done;
+    let neighbors_of c =
+      let cz = c mod ncell and cy = c / ncell mod ncell and cx = c / (ncell * ncell) in
+      List.concat_map
+        (fun dx ->
+          List.concat_map
+            (fun dy ->
+              List.map
+                (fun dz ->
+                  let w v = (v + ncell) mod ncell in
+                  (w (cx + dx) * ncell * ncell) + (w (cy + dy) * ncell) + w (cz + dz))
+                [ -1; 0; 1 ])
+            [ -1; 0; 1 ])
+        [ -1; 0; 1 ]
+    in
+    Hashtbl.iter
+      (fun c members ->
+        let nearby = List.sort_uniq compare (neighbors_of c) in
+        List.iter
+          (fun i ->
+            List.iter
+              (fun c' ->
+                match Hashtbl.find_opt cells c' with
+                | None -> ()
+                | Some others -> List.iter (fun j -> if i < j then consider i j) others)
+              nearby)
+          members)
+      cells
+  end;
+  Array.of_list !pairs
+
+(* One force evaluation; returns (potential energy, per-pair accept flags). *)
+let compute_forces sim neighbors =
+  let rc = cutoff sim.style in
+  let rc2 = rc *. rc in
+  Array.fill sim.fx 0 sim.n 0.0;
+  Array.fill sim.fy 0 sim.n 0.0;
+  Array.fill sim.fz 0 sim.n 0.0;
+  let pe = ref 0.0 in
+  let flags =
+    Array.map
+      (fun (i, j) ->
+        let dx = pbc sim.box (sim.x.(i) -. sim.x.(j)) in
+        let dy = pbc sim.box (sim.y.(i) -. sim.y.(j)) in
+        let dz = pbc sim.box (sim.z.(i) -. sim.z.(j)) in
+        let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+        if r2 <= rc2 && r2 > 1e-12 then begin
+          let inv2 = 1.0 /. r2 in
+          let inv6 = inv2 *. inv2 *. inv2 in
+          let ff = 48.0 *. inv2 *. inv6 *. (inv6 -. 0.5) in
+          sim.fx.(i) <- sim.fx.(i) +. (ff *. dx);
+          sim.fy.(i) <- sim.fy.(i) +. (ff *. dy);
+          sim.fz.(i) <- sim.fz.(i) +. (ff *. dz);
+          sim.fx.(j) <- sim.fx.(j) -. (ff *. dx);
+          sim.fy.(j) <- sim.fy.(j) -. (ff *. dy);
+          sim.fz.(j) <- sim.fz.(j) -. (ff *. dz);
+          pe := !pe +. (4.0 *. inv6 *. (inv6 -. 1.0));
+          (i, j, true)
+        end
+        else (i, j, false))
+      neighbors
+  in
+  (* FENE bonds for the chain benchmark. *)
+  Array.iter
+    (fun (i, j) ->
+      let dx = pbc sim.box (sim.x.(i) -. sim.x.(j)) in
+      let dy = pbc sim.box (sim.y.(i) -. sim.y.(j)) in
+      let dz = pbc sim.box (sim.z.(i) -. sim.z.(j)) in
+      let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+      let k = 30.0 and r0 = 1.5 in
+      let r0sq = r0 *. r0 in
+      let frac = Float.min 0.9 (r2 /. r0sq) in
+      let ff = -.k /. (1.0 -. frac) in
+      sim.fx.(i) <- sim.fx.(i) +. (ff *. dx);
+      sim.fy.(i) <- sim.fy.(i) +. (ff *. dy);
+      sim.fz.(i) <- sim.fz.(i) +. (ff *. dz);
+      sim.fx.(j) <- sim.fx.(j) -. (ff *. dx);
+      sim.fy.(j) <- sim.fy.(j) -. (ff *. dy);
+      sim.fz.(j) <- sim.fz.(j) -. (ff *. dz);
+      pe := !pe -. (0.5 *. k *. r0sq *. log (1.0 -. frac)))
+    sim.bonds;
+  (!pe, flags)
+
+let kinetic sim =
+  let ke = ref 0.0 in
+  for i = 0 to sim.n - 1 do
+    ke := !ke +. (0.5 *. ((sim.vx.(i) ** 2.0) +. (sim.vy.(i) ** 2.0) +. (sim.vz.(i) ** 2.0)))
+  done;
+  !ke
+
+(* Velocity-Verlet with neighbor rebuild every [rebuild_every] steps;
+   records per-step pair work. *)
+let run_md ?(seed = 0x7A) ~style ~atoms ~steps () =
+  let sim = init ~seed ~style ~atoms () in
+  let rebuild_every = 3 in
+  let neighbors = ref (build_neighbors sim) in
+  let records = ref [] in
+  let pe0, _ = compute_forces sim !neighbors in
+  let pes = ref [ pe0 ] in
+  let kes = ref [ kinetic sim ] in
+  for step = 1 to steps do
+    let wrap v = v -. (sim.box *. Float.floor (v /. sim.box)) in
+    for i = 0 to sim.n - 1 do
+      sim.vx.(i) <- sim.vx.(i) +. (0.5 *. dt *. sim.fx.(i));
+      sim.vy.(i) <- sim.vy.(i) +. (0.5 *. dt *. sim.fy.(i));
+      sim.vz.(i) <- sim.vz.(i) +. (0.5 *. dt *. sim.fz.(i));
+      sim.x.(i) <- wrap (sim.x.(i) +. (dt *. sim.vx.(i)));
+      sim.y.(i) <- wrap (sim.y.(i) +. (dt *. sim.vy.(i)));
+      sim.z.(i) <- wrap (sim.z.(i) +. (dt *. sim.vz.(i)))
+    done;
+    let rebuilt = step mod rebuild_every = 0 in
+    if rebuilt then neighbors := build_neighbors sim;
+    let pe, flags = compute_forces sim !neighbors in
+    for i = 0 to sim.n - 1 do
+      sim.vx.(i) <- sim.vx.(i) +. (0.5 *. dt *. sim.fx.(i));
+      sim.vy.(i) <- sim.vy.(i) +. (0.5 *. dt *. sim.fy.(i));
+      sim.vz.(i) <- sim.vz.(i) +. (0.5 *. dt *. sim.fz.(i))
+    done;
+    records := { pairs = flags; bonds_r = sim.bonds; rebuilt } :: !records;
+    pes := pe :: !pes;
+    kes := kinetic sim :: !kes
+  done;
+  let records = Array.of_list (List.rev !records) in
+  let traj =
+    {
+      atoms;
+      steps;
+      box = sim.box;
+      potential_energy = Array.of_list (List.rev !pes);
+      kinetic_energy = Array.of_list (List.rev !kes);
+      pair_count =
+        Array.map
+          (fun r -> Array.fold_left (fun acc (_, _, ok) -> if ok then acc + 1 else acc) 0 r.pairs)
+          records;
+    }
+  in
+  (traj, records)
+
+let simulate ?seed ~style ~atoms ~steps () = fst (run_md ?seed ~style ~atoms ~steps ())
+
+(* ---------------------------------------------------------------- emission *)
+
+let split n ranks r =
+  let q = n / ranks and rem = n mod ranks in
+  let lo = (r * q) + min r rem in
+  (lo, q + if r < rem then 1 else 0)
+
+(* Per-atom record stride in the emitted address stream: LAMMPS keeps
+   x/v/f/type/tag/image and neighbor headers per atom — the working set
+   per atom is far larger than three doubles. *)
+let atom_stride = 128
+
+let program ?(codegen = Codegen.default) ~style ~ranks ~scale () : Smpi.program =
+  let atoms = max 64 (int_of_float (float_of_int 1200 *. scale)) in
+  let steps = 4 in
+  let _, records = run_md ~style ~atoms ~steps () in
+
+  let mk_rank rank =
+    let base = Workload.data_base ~rank in
+    let pos_base = base in
+    let force_base = base + (atoms * atom_stride) in
+    let nlist_base = force_base + (atoms * atom_stride) in
+    let region = E.fresh_region ~slots:64 in
+    let pc = Prog.Code.pc region in
+    let lo, sz = split atoms ranks rank in
+    let owns i = i >= lo && i < lo + sz in
+    (* Pair-force stream for one step: each examined pair owned by this
+       rank emits the gather + cutoff test; accepted pairs add the force
+       math and the newton-scatter to atom j. *)
+    (* The boards' compiler vectorizes the pair loop (RVV indexed loads
+       pack the gathers, lanes pack the math): one emitted group covers
+       [vw] pairs.  The FireSim-image binary is scalar (vw = 1). *)
+    let vw = max 1 (int_of_float codegen.Codegen.vector_width) in
+    let force_stream (rec_ : step_record) =
+      let owned = Array.of_seq (Seq.filter (fun (i, _, _) -> owns i) (Array.to_seq rec_.pairs)) in
+      Gen.iterate ((Array.length owned + vw - 1) / vw) (fun g ->
+          let k = g * vw in
+          let _i, j, ok = owned.(k) in
+          let gather =
+            [
+              E.load ~pc:(pc 0) ~dst:E.rtmp ~addr:(nlist_base + (k * 4)) ();
+              E.load ~pc:(pc 1) ~dst:21 ~addr:(pos_base + (j * atom_stride)) ~src1:E.rtmp ();
+              E.load ~pc:(pc 2) ~dst:22 ~addr:(pos_base + (j * atom_stride) + 8) ~src1:E.rtmp ();
+              E.load ~pc:(pc 3) ~dst:23 ~addr:(pos_base + (j * atom_stride) + 16) ~src1:E.rtmp ();
+              E.fp ~pc:(pc 4) ~kind:Isa.Insn.Fp_add ~dst:24 ~src1:21 ();
+              E.fp ~pc:(pc 5) ~kind:Isa.Insn.Fp_mul ~dst:24 ~src1:24 ~src2:24 ();
+              E.fp ~pc:(pc 6) ~kind:Isa.Insn.Fp_add ~dst:25 ~src1:24 ~src2:25 ();
+              E.branch ~pc:(pc 7) ~taken:(not ok) ~target:(pc 24) ~src1:25 ();
+            ]
+          in
+          let accepted =
+            if not ok then []
+            else
+              (* The pure pair math vectorizes (the boards' compiler packs
+                 lanes); the gather/scatter part does not. *)
+              (E.fp ~pc:(pc 8) ~kind:Isa.Insn.Fp_div ~dst:26 ~src1:25 ()
+              :: List.init
+                   (Codegen.vector_ops codegen 4)
+                   (fun m ->
+                     E.fp ~pc:(pc (9 + m))
+                       ~kind:(if m land 1 = 0 then Isa.Insn.Fp_mul else Isa.Insn.Fp_add)
+                       ~dst:(26 + (m land 1)) ~src1:(26 + (m land 1)) ()))
+              @ [
+                  E.load ~pc:(pc 13) ~dst:28 ~addr:(force_base + (j * atom_stride)) ();
+                  E.fp ~pc:(pc 14) ~kind:Isa.Insn.Fp_add ~dst:28 ~src1:28 ~src2:27 ();
+                  E.store ~pc:(pc 15) ~addr:(force_base + (j * atom_stride)) ~src1:28 ();
+                ]
+          in
+          let overhead =
+            List.init
+              (Codegen.ops_at codegen ~index:k ~base:2)
+              (fun m -> E.alu ~pc:(pc (16 + m)) ~dst:E.rctr ~src1:E.rctr ())
+          in
+          Gen.of_list (gather @ accepted @ overhead))
+    in
+    (* FENE bond stream (chain only): includes the logarithm (Fp_long). *)
+    let bond_stream (rec_ : step_record) =
+      let owned = Array.of_seq (Seq.filter (fun (i, _) -> owns i) (Array.to_seq rec_.bonds_r)) in
+      Gen.iterate ((Array.length owned + vw - 1) / vw) (fun g ->
+          let _, j = owned.(g * vw) in
+          Gen.of_list
+            [
+              E.load ~pc:(pc 32) ~dst:21 ~addr:(pos_base + (j * atom_stride)) ();
+              E.fp ~pc:(pc 33) ~kind:Isa.Insn.Fp_add ~dst:22 ~src1:21 ();
+              E.fp ~pc:(pc 34) ~kind:Isa.Insn.Fp_mul ~dst:22 ~src1:22 ~src2:22 ();
+              E.fp ~pc:(pc 35) ~kind:Isa.Insn.Fp_div ~dst:23 ~src1:22 ();
+              E.fp ~pc:(pc 36) ~kind:Isa.Insn.Fp_long ~dst:24 ~src1:23 ();
+              E.fp ~pc:(pc 37) ~kind:Isa.Insn.Fp_add ~dst:(E.racc 1) ~src1:(E.racc 1) ~src2:24 ();
+              E.store ~pc:(pc 38) ~addr:(force_base + (j * atom_stride)) ~src1:24 ();
+            ])
+    in
+    (* Integration stream: streaming load/fma/store over owned atoms. *)
+    let integrate_stream =
+      E.with_loop region ~iters:((sz + vw - 1) / vw) ~body_slots:56 ~body:(fun gi ->
+          let i = lo + (gi * vw) in
+          [
+            E.load ~pc:(pc 40) ~dst:21 ~addr:(pos_base + (i * atom_stride)) ();
+            E.load ~pc:(pc 41) ~dst:22 ~addr:(force_base + (i * atom_stride)) ();
+            E.fp ~pc:(pc 42) ~kind:Isa.Insn.Fp_mul ~dst:23 ~src1:22 ();
+            E.fp ~pc:(pc 43) ~kind:Isa.Insn.Fp_add ~dst:21 ~src1:21 ~src2:23 ();
+            E.store ~pc:(pc 44) ~addr:(pos_base + (i * atom_stride)) ~src1:21 ();
+            E.load ~pc:(pc 45) ~dst:24 ~addr:(pos_base + (i * atom_stride) + 8) ();
+            E.fp ~pc:(pc 46) ~kind:Isa.Insn.Fp_add ~dst:24 ~src1:24 ~src2:23 ();
+            E.store ~pc:(pc 47) ~addr:(pos_base + (i * atom_stride) + 8) ~src1:24 ();
+          ])
+    in
+    (* Neighbor rebuild: cell binning sweep over owned atoms. *)
+    let rebuild_stream =
+      E.with_loop region ~iters:sz ~body_slots:60 ~body:(fun ai ->
+          let i = lo + ai in
+          [
+            E.load ~pc:(pc 48) ~dst:21 ~addr:(pos_base + (i * atom_stride)) ();
+            E.fp ~pc:(pc 49) ~kind:Isa.Insn.Fp_mul ~dst:22 ~src1:21 ();
+            E.fp ~pc:(pc 50) ~kind:Isa.Insn.Fp_cvt ~dst:E.rtmp ~src1:22 ();
+            E.alu ~pc:(pc 51) ~dst:E.rtmp2 ~src1:E.rtmp ();
+            E.alu ~pc:(pc 52) ~dst:E.rtmp2 ~src1:E.rtmp2 ();
+            E.store ~pc:(pc 53) ~addr:(nlist_base + (atoms * 4) + (i * 4)) ~src1:E.rtmp2 ();
+          ])
+    in
+    let halo =
+      if ranks = 1 then []
+      else
+        (* Boundary slab positions to both spatial neighbors. *)
+        let boundary_atoms = max 1 (sz / 4) in
+        let bytes = boundary_atoms * 24 in
+        let up = (rank + 1) mod ranks in
+        let down = (rank + ranks - 1) mod ranks in
+        [
+          Smpi.Comm (Smpi.Send { dst = up; bytes; tag = 3 });
+          Smpi.Comm (Smpi.Send { dst = down; bytes; tag = 4 });
+          Smpi.Comm (Smpi.Recv { src = down; bytes; tag = 3 });
+          Smpi.Comm (Smpi.Recv { src = up; bytes; tag = 4 });
+        ]
+    in
+    let step_segments rec_ =
+      halo
+      @ (if rec_.rebuilt then [ Smpi.Compute rebuild_stream ] else [])
+      @ [ Smpi.Compute (force_stream rec_) ]
+      @ (match style with Chain -> [ Smpi.Compute (bond_stream rec_) ] | Lj -> [])
+      @ [ Smpi.Compute integrate_stream; Smpi.Comm (Smpi.Allreduce { bytes = 24 }) ]
+    in
+    List.concat_map step_segments (Array.to_list records)
+  in
+  Array.init ranks mk_rank
+
+let lj =
+  {
+    Workload.app_name = "lammps-lj";
+    app_description = "LAMMPS Lennard-Jones fluid (mini)";
+    characteristics = "FP compute + neighbor gather";
+    make = (fun ~codegen ~ranks ~scale -> program ~codegen ~style:Lj ~ranks ~scale ());
+  }
+
+let chain =
+  {
+    Workload.app_name = "lammps-chain";
+    app_description = "LAMMPS polymer chain, FENE bonds (mini)";
+    characteristics = "FP compute + bonds + neighbor gather";
+    make = (fun ~codegen ~ranks ~scale -> program ~codegen ~style:Chain ~ranks ~scale ());
+  }

@@ -1,0 +1,36 @@
+(** Mini-LAMMPS: parallel molecular dynamics with the two benchmarks the
+    paper runs — the Lennard-Jones fluid ("lj") and the polymer Chain
+    ("chain", FENE bonds + WCA pair repulsion).
+
+    The physics is real: atoms are initialized on a perturbed lattice (or
+    as random-walk chains), velocities are Maxwell-distributed, and a
+    velocity-Verlet integrator advances the system with cell-list /
+    Verlet-neighbor-list force evaluation under periodic boundaries.  The
+    full trajectory is computed at program-construction time; the
+    instruction streams then replay each rank's share of the recorded
+    per-step pair work (cutoff branches follow the real distances), with
+    position halo exchanges and a per-step thermo allreduce, matching
+    LAMMPS's spatial-decomposition communication skeleton.
+
+    Default 500 atoms / 4 steps (paper: 32 000 atoms / 100 steps); the
+    relative-speedup metric is size-invariant to first order (DESIGN.md). *)
+
+type style = Lj | Chain
+
+type trajectory = {
+  atoms : int;
+  steps : int;
+  box : float;
+  potential_energy : float array;  (** per recorded step *)
+  kinetic_energy : float array;
+  pair_count : int array;  (** accepted (within-cutoff) pairs per step *)
+}
+
+val simulate : ?seed:int -> style:style -> atoms:int -> steps:int -> unit -> trajectory
+(** Run the MD engine alone (no emission) — used by tests to check
+    conservation and by the examples. *)
+
+val program : ?codegen:Codegen.t -> style:style -> ranks:int -> scale:float -> unit -> Smpi.program
+
+val lj : Workload.app
+val chain : Workload.app

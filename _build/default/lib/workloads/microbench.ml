@@ -1,0 +1,507 @@
+open Workload
+module Gen = Prog.Gen
+module E = Emit
+
+let base = data_base ~rank:0
+let rctr = Emit.rctr
+let rptr = Emit.rptr
+let racc = Emit.racc
+let rtmp = Emit.rtmp
+let rtmp2 = Emit.rtmp2
+let scaled = Emit.scaled
+let with_loop = Emit.with_loop
+let fresh_region = Emit.fresh_region
+
+(* Un-timed working-set initialization: one independent load per line,
+   overlapped by the MSHRs, exactly like the C suite's setup loops. *)
+let warm ~base ~bytes =
+  let lines = max 1 (bytes / 64) in
+  let r = fresh_region ~slots:8 in
+  let pc = Prog.Code.pc r 0 in
+  Gen.iterate lines (fun l -> Gen.of_list [ E.load ~pc ~dst:(racc l) ~addr:(base + (l * 64)) () ])
+
+(* --- Control-flow kernels ------------------------------------------------- *)
+
+(* Conditional branch whose outcome follows [outcome]; taken path skips a
+   couple of filler ops. *)
+let branchy_kernel ~iters ~outcome ~with_store scale =
+  let iters = scaled scale iters in
+  let r = fresh_region ~slots:12 in
+  let pc = Prog.Code.pc r in
+  with_loop r ~iters ~body_slots:8 ~body:(fun pos ->
+      let taken = outcome pos in
+      let work = [ E.alu ~pc:(pc 0) ~dst:(racc 0) ~src1:(racc 0) (); E.alu ~pc:(pc 1) ~dst:rtmp ~src1:(racc 0) () ] in
+      let br = E.branch ~pc:(pc 2) ~taken ~target:(pc 6) () in
+      let arm =
+        if taken then [ E.alu ~pc:(pc 6) ~dst:(racc 1) ~src1:(racc 1) () ]
+        else
+          [ E.alu ~pc:(pc 3) ~dst:(racc 2) ~src1:(racc 2) (); E.alu ~pc:(pc 4) ~dst:(racc 2) ~src1:(racc 2) () ]
+      in
+      let st =
+        if with_store then [ E.store ~pc:(pc 7) ~addr:(base + (pos mod 512 * 8)) ~src1:(racc 1) () ]
+        else []
+      in
+      work @ (br :: arm) @ st)
+
+let cca scale = branchy_kernel ~iters:8_000 ~outcome:(Prog.Outcome.always true) ~with_store:false scale
+let cce scale = branchy_kernel ~iters:8_000 ~outcome:Prog.Outcome.alternating ~with_store:false scale
+let cch scale = branchy_kernel ~iters:8_000 ~outcome:(Prog.Outcome.random ~seed:0xCC4) ~with_store:false scale
+
+let cch_st scale =
+  branchy_kernel ~iters:8_000 ~outcome:(Prog.Outcome.random ~seed:0xCC5) ~with_store:true scale
+
+(* Impossible control with large basic blocks: an unpredictable branch
+   selects one of two 24-instruction arms. *)
+let ccl scale =
+  let iters = scaled scale 3_000 in
+  let arm = 24 in
+  let r = fresh_region ~slots:(4 + (2 * arm) + 4) in
+  let pc = Prog.Code.pc r in
+  let outcome = Prog.Outcome.random ~seed:0xCC1 in
+  with_loop r ~iters ~body_slots:(2 + (2 * arm)) ~body:(fun pos ->
+      let taken = outcome pos in
+      let br = E.branch ~pc:(pc 0) ~taken ~target:(pc (2 + arm)) () in
+      let arm_base = if taken then 2 + arm else 1 in
+      let block =
+        List.init arm (fun j -> E.alu ~pc:(pc (arm_base + j)) ~dst:(racc j) ~src1:(racc j) ())
+      in
+      br :: block)
+
+(* Heavily biased branches: four sites, each ~97% taken. *)
+let ccm scale =
+  let iters = scaled scale 4_000 in
+  let r = fresh_region ~slots:16 in
+  let pc = Prog.Code.pc r in
+  let outcomes = Array.init 4 (fun k -> Prog.Outcome.biased ~seed:(0xCC6 + k) ~p_taken:0.97) in
+  with_loop r ~iters ~body_slots:12 ~body:(fun pos ->
+      List.concat
+        (List.init 4 (fun k ->
+             let taken = outcomes.(k) pos in
+             [
+               E.alu ~pc:(pc (3 * k)) ~dst:(racc k) ~src1:(racc k) ();
+               E.branch ~pc:(pc ((3 * k) + 1)) ~taken ~target:(pc ((3 * k) + 2)) ();
+             ])))
+
+(* Inlining test: small functions containing loops, called per iteration. *)
+let cf1 scale =
+  let iters = scaled scale 1_500 in
+  let r = fresh_region ~slots:16 in
+  let fregion = fresh_region ~slots:8 in
+  let pc = Prog.Code.pc r in
+  let fpc = Prog.Code.pc fregion in
+  with_loop r ~iters ~body_slots:2 ~body:(fun _ ->
+      let inner =
+        List.concat
+          (List.init 4 (fun j ->
+               [
+                 E.alu ~pc:(fpc 0) ~dst:(racc 0) ~src1:(racc 0) ();
+                 E.alu ~pc:(fpc 1) ~dst:rctr ~src1:rctr ();
+                 E.branch ~pc:(fpc 2) ~taken:(j < 3) ~target:(fpc 0) ~src1:rctr ();
+               ]))
+      in
+      (E.call ~pc:(pc 0) ~target:(fpc 0) () :: inner) @ [ E.ret ~pc:(fpc 3) ~target:(pc 0 + 4) () ])
+
+(* Recursive control flow, 1000 deep: overflows every realistic RAS. *)
+let crd scale =
+  let repeats = scaled scale 18 in
+  let depth = 1000 in
+  let r = fresh_region ~slots:8 in
+  let pc = Prog.Code.pc r in
+  Gen.iterate repeats (fun _ ->
+      let descend =
+        Gen.iterate depth (fun _ ->
+            Gen.of_list
+              [
+                E.alu ~pc:(pc 0) ~dst:(racc 0) ~src1:(racc 0) ();
+                E.branch ~pc:(pc 1) ~taken:true ~target:(pc 2) ();
+                E.call ~pc:(pc 2) ~target:(pc 0) ();
+              ])
+      in
+      let unwind =
+        Gen.iterate depth (fun _ ->
+            Gen.of_list
+              [ E.alu ~pc:(pc 3) ~dst:(racc 1) ~src1:(racc 1) (); E.ret ~pc:(pc 4) ~target:(pc 3) () ])
+      in
+      Gen.append descend unwind)
+
+(* Recursive Fibonacci: a real call tree with shallow, bushy recursion.
+   Return addresses thread through the emission so the RAS sees honest
+   call/return pairing (a call at slot s returns to s+1). *)
+let crf scale =
+  let repeats = scaled scale 12 in
+  let r = fresh_region ~slots:12 in
+  let pc = Prog.Code.pc r in
+  let rec tree n ret_to =
+    let header =
+      [
+        E.alu ~pc:(pc 0) ~dst:rtmp ~src1:rtmp ();
+        E.branch ~pc:(pc 1) ~taken:(n < 2) ~target:(pc 8) ~src1:rtmp ();
+      ]
+    in
+    if n < 2 then Gen.of_list (header @ [ E.ret ~pc:(pc 8) ~target:ret_to () ])
+    else
+      Gen.concat
+        [
+          Gen.of_list (header @ [ E.call ~pc:(pc 2) ~target:(pc 0) () ]);
+          tree (n - 1) (pc 2 + 4);
+          Gen.of_list [ E.alu ~pc:(pc 3) ~dst:(racc 0) ~src1:(racc 0) (); E.call ~pc:(pc 4) ~target:(pc 0) () ];
+          tree (n - 2) (pc 4 + 4);
+          Gen.of_list [ E.alu ~pc:(pc 5) ~dst:(racc 0) ~src1:(racc 0) (); E.ret ~pc:(pc 6) ~target:ret_to () ];
+        ]
+  in
+  Gen.iterate repeats (fun i -> tree 12 (pc (9 + (i mod 2))))
+
+(* Merge sort over a real random array: data-dependent compare branches,
+   streaming loads and stores.  Excluded from evaluation, as in the paper. *)
+let crm scale =
+  let n = scaled scale 2_048 in
+  let rng = Util.Rng.create 0x3A7 in
+  let data = Array.init n (fun _ -> Util.Rng.int rng 1_000_000) in
+  let r = fresh_region ~slots:16 in
+  let pc = Prog.Code.pc r in
+  let src = Array.copy data in
+  let tmp = Array.make n 0 in
+  (* Emit the instruction stream of a real bottom-up merge sort. *)
+  let emit_merge lo mid hi =
+    let bursts = ref [] in
+    let i = ref lo and j = ref mid in
+    for k = lo to hi - 1 do
+      let take_left = !j >= hi || (!i < mid && src.(!i) <= src.(!j)) in
+      let idx = if take_left then !i else !j in
+      if take_left then incr i else incr j;
+      tmp.(k) <- src.(idx);
+      bursts :=
+        [
+          E.load ~pc:(pc 0) ~dst:rtmp ~addr:(base + (idx * 8)) ();
+          E.load ~pc:(pc 1) ~dst:rtmp2 ~addr:(base + (8 * n) + (idx * 8)) ();
+          E.branch ~pc:(pc 2) ~taken:take_left ~target:(pc 4) ~src1:rtmp ();
+          E.store ~pc:(pc 5) ~addr:(base + (16 * n) + (k * 8)) ~src1:rtmp ();
+          E.alu ~pc:(pc 6) ~dst:rctr ~src1:rctr ();
+        ]
+        :: !bursts
+    done;
+    Array.blit tmp lo src lo (hi - lo);
+    List.rev !bursts
+  in
+  let all_bursts = ref [] in
+  let width = ref 1 in
+  while !width < n do
+    let lo = ref 0 in
+    while !lo + !width < n do
+      let mid = !lo + !width in
+      let hi = min (!lo + (2 * !width)) n in
+      all_bursts := !all_bursts @ emit_merge !lo mid hi;
+      lo := !lo + (2 * !width)
+    done;
+    width := !width * 2
+  done;
+  Gen.concat (List.map Gen.of_list !all_bursts)
+
+(* Switch statements: indirect jump through a jump table.  CS1 picks a
+   different case every time (BTB-hostile); CS3 changes every third
+   iteration. *)
+let switch_kernel ~iters ~period scale =
+  let iters = scaled scale iters in
+  let cases = 16 in
+  let case_len = 4 in
+  let r = fresh_region ~slots:(8 + (cases * case_len)) in
+  let pc = Prog.Code.pc r in
+  let pick = Prog.Mem.random_in ~seed:0x51 ~base:0 ~bytes:cases ~align:1 in
+  with_loop r ~iters ~body_slots:4 ~body:(fun pos ->
+      let c = pick (pos / period) mod cases in
+      let cbase = 8 + (c * case_len) in
+      E.load ~pc:(pc 0) ~dst:rtmp ~addr:(base + (c * 8)) ()
+      :: E.jump ~pc:(pc 1) ~target:(pc cbase) ()
+      :: List.init case_len (fun j -> E.alu ~pc:(pc (cbase + j)) ~dst:(racc j) ~src1:(racc j) ()))
+
+let cs1 scale = switch_kernel ~iters:6_000 ~period:1 scale
+let cs3 scale = switch_kernel ~iters:6_000 ~period:3 scale
+
+(* --- Execution kernels ---------------------------------------------------- *)
+
+(* [chains] interleaved dependency chains of [kind]; chain length per
+   iteration 8/chains each. *)
+let chain_kernel ~iters ~kind ~chains scale =
+  let iters = scaled scale iters in
+  let r = fresh_region ~slots:12 in
+  let pc = Prog.Code.pc r in
+  with_loop r ~iters ~body_slots:8 ~body:(fun _ ->
+      List.init 8 (fun j ->
+          let reg = racc (j mod chains) in
+          match kind with
+          | `Alu -> E.alu ~pc:(pc j) ~dst:reg ~src1:reg ()
+          | `Mul -> E.mul ~pc:(pc j) ~dst:reg ~src1:reg ()
+          | `Fp -> E.fp ~pc:(pc j) ~kind:Isa.Insn.Fp_add ~dst:reg ~src1:reg ()))
+
+let ed1 scale = chain_kernel ~iters:6_000 ~kind:`Alu ~chains:1 scale
+let ef scale = chain_kernel ~iters:6_000 ~kind:`Fp ~chains:8 scale
+let ei scale = chain_kernel ~iters:6_000 ~kind:`Alu ~chains:8 scale
+let em1 scale = chain_kernel ~iters:6_000 ~kind:`Mul ~chains:1 scale
+let em5 scale = chain_kernel ~iters:6_000 ~kind:`Mul ~chains:5 scale
+
+(* --- Data-parallel kernels ------------------------------------------------ *)
+
+(* Data-parallel loop over an L1-resident array: load, arithmetic,
+   store. *)
+let dp_kernel ~iters ~elem ~ops scale =
+  let iters = scaled scale iters in
+  let footprint = 16 * 1024 in
+  let wrap = footprint / elem in
+  let addr = Prog.Mem.linear ~base ~elem in
+  let out = Prog.Mem.linear ~base:(base + footprint) ~elem in
+  let r = fresh_region ~slots:16 in
+  let pc = Prog.Code.pc r in
+  with_loop r ~iters ~body_slots:12 ~body:(fun pos ->
+      let p = pos mod wrap in
+      (E.load ~pc:(pc 0) ~dst:20 ~addr:(addr p) ()
+      :: List.mapi (fun j kind -> E.fp ~pc:(pc (1 + j)) ~kind ~dst:21 ~src1:(if j = 0 then 20 else 21) ()) ops)
+      @ [ E.store ~pc:(pc 10) ~addr:(out p) ~src1:21 () ])
+
+let dp1d scale = dp_kernel ~iters:6_000 ~elem:8 ~ops:[ Isa.Insn.Fp_mul; Isa.Insn.Fp_add ] scale
+let dp1f scale = dp_kernel ~iters:6_000 ~elem:4 ~ops:[ Isa.Insn.Fp_mul; Isa.Insn.Fp_add ] scale
+(* sin() as compilers emit it: a polynomial chain ending in a divide —
+   pipelined FP work, not one monolithic long op. *)
+let dpt scale =
+  dp_kernel ~iters:1_200 ~elem:4
+    ~ops:[ Isa.Insn.Fp_mul; Isa.Insn.Fp_add; Isa.Insn.Fp_mul; Isa.Insn.Fp_add; Isa.Insn.Fp_div ]
+    scale
+
+let dptd scale =
+  dp_kernel ~iters:1_200 ~elem:8
+    ~ops:
+      [
+        Isa.Insn.Fp_mul; Isa.Insn.Fp_add; Isa.Insn.Fp_mul; Isa.Insn.Fp_add; Isa.Insn.Fp_mul;
+        Isa.Insn.Fp_add; Isa.Insn.Fp_div;
+      ]
+    scale
+let dpcvt scale = dp_kernel ~iters:6_000 ~elem:8 ~ops:[ Isa.Insn.Fp_cvt; Isa.Insn.Fp_add ] scale
+
+(* --- Cache kernels --------------------------------------------------------- *)
+
+(* Conflict misses: addresses 4 KiB apart all land in one set of a 64-set,
+   64 B-line cache; more distinct lines than any realistic associativity. *)
+let conflict_kernel ~with_store scale =
+  let iters = scaled scale 6_000 in
+  let addr = Prog.Mem.conflict ~base ~line:64 ~sets:64 ~distinct:24 in
+  let r = fresh_region ~slots:8 in
+  let pc = Prog.Code.pc r in
+  with_loop r ~iters ~body_slots:4 ~body:(fun pos ->
+      let a = addr pos in
+      if with_store then
+        [ E.load ~pc:(pc 0) ~dst:20 ~addr:a (); E.store ~pc:(pc 1) ~addr:a ~src1:20 () ]
+      else [ E.load ~pc:(pc 0) ~dst:20 ~addr:a (); E.alu ~pc:(pc 1) ~dst:21 ~src1:20 () ])
+
+let mc scale = conflict_kernel ~with_store:false scale
+let mcs scale = conflict_kernel ~with_store:true scale
+
+(* Pointer chase over a [footprint]-byte ring; each load's address depends
+   on the previous load (serial misses). *)
+let chase_kernel ~footprint ~hops ~with_store ?(seed = 0x11D) scale =
+  let hops = scaled scale hops in
+  let rng = Util.Rng.create seed in
+  let addr = Prog.Mem.chase rng ~base ~bytes:footprint ~stride:64 in
+  let r = fresh_region ~slots:8 in
+  let pc = Prog.Code.pc r in
+  with_loop r ~iters:hops ~body_slots:4 ~body:(fun pos ->
+      let a = addr pos in
+      let ld = E.load ~pc:(pc 0) ~dst:rptr ~addr:a ~src1:rptr () in
+      if with_store then [ ld; E.store ~pc:(pc 1) ~addr:(a + 8) ~src1:rptr () ]
+      else [ ld; E.alu ~pc:(pc 1) ~dst:rtmp ~src1:rptr () ])
+
+let md scale = chase_kernel ~footprint:(16 * 1024) ~hops:20_000 ~with_store:false scale
+
+(* Independent loads, cache resident. *)
+let independent_kernel ~pattern ~iters scale =
+  let iters = scaled scale iters in
+  let r = fresh_region ~slots:16 in
+  let pc = Prog.Code.pc r in
+  with_loop r ~iters ~body_slots:8 ~body:(fun pos ->
+      List.init 4 (fun j ->
+          E.load ~pc:(pc j) ~dst:(racc j) ~addr:(pattern ((pos * 4) + j)) ()))
+
+let mi scale =
+  independent_kernel
+    ~pattern:(Prog.Mem.random_in ~seed:0x31 ~base ~bytes:(16 * 1024) ~align:8)
+    ~iters:6_000 scale
+
+let mim scale =
+  independent_kernel
+    ~pattern:(Prog.Mem.strided ~base ~elem:8 ~stride_elems:1 ~wrap_elems:2048)
+    ~iters:6_000 scale
+
+(* Two coalescing loads per line. *)
+let mim2 scale =
+  let iters = scaled scale 6_000 in
+  let r = fresh_region ~slots:8 in
+  let pc = Prog.Code.pc r in
+  let lines = 16 * 1024 / 64 in
+  with_loop r ~iters ~body_slots:4 ~body:(fun pos ->
+      let a = base + (pos mod lines * 64) in
+      [ E.load ~pc:(pc 0) ~dst:(racc 0) ~addr:a (); E.load ~pc:(pc 1) ~dst:(racc 1) ~addr:(a + 8) () ])
+
+(* Instruction-cache misses: sweep a 2 MiB code footprint that exceeds
+   every L1I and both cluster L2s, so refills come from the LLC / DRAM.
+   FireSim's SRAM-like LLC makes the simulated MILK-V *faster* than
+   silicon here — the paper's MIP anomaly. *)
+let mip scale =
+  let block_len = 32 in
+  (* The 2 MiB code footprint is the kernel's identity: it exceeds every
+     L1I and both cluster L2s, so steady-state instruction fetch is served
+     by the LLC (or DRAM where there is none).  FireSim's SRAM-like LLC
+     makes the simulated MILK-V *faster* than silicon here — the paper's
+     MIP anomaly.  A jump-chain warmup touches every line cheaply so the
+     measured passes run in steady state; scaling changes the number of
+     measured passes only. *)
+  let blocks = 16_384 in
+  let r = fresh_region ~slots:(blocks * block_len) in
+  let pc = Prog.Code.pc r in
+  let passes = max 4 (int_of_float (Float.round (4.0 *. scale))) in
+  Gen.iterate (passes * blocks) (fun i ->
+      let b = i mod blocks in
+      let base_slot = b * block_len in
+      Gen.of_list
+        (E.jump ~pc:(pc base_slot) ~target:(pc (base_slot + 1)) ()
+        :: List.init (block_len - 1) (fun j ->
+               E.alu ~pc:(pc (base_slot + 1 + j)) ~dst:(racc j) ~src1:(racc j) ())))
+
+(* MIP's setup warms the shared levels through the data side: the code
+   region's lines reach L2/LLC as the real benchmark's earlier iterations
+   would have left them. *)
+let mip_setup _scale =
+  let r = fresh_region ~slots:(16_384 * 32) in
+  warm ~base:(Prog.Code.pc r 0) ~bytes:(16_384 * 32 * 4)
+
+let ml2 scale = chase_kernel ~footprint:(256 * 1024) ~hops:20_000 ~with_store:false ~seed:0x2D1 scale
+let ml2_st scale = chase_kernel ~footprint:(256 * 1024) ~hops:20_000 ~with_store:true ~seed:0x2D2 scale
+
+(* Bandwidth-limited sweeps over an L2-resident footprint: one access per
+   line, independent. *)
+let l2_bw_kernel ~mode scale =
+  let iters = scaled scale 12_000 in
+  let lines = 256 * 1024 / 64 in
+  let r = fresh_region ~slots:8 in
+  let pc = Prog.Code.pc r in
+  with_loop r ~iters ~body_slots:4 ~body:(fun pos ->
+      let a = base + (pos mod lines * 64) in
+      match mode with
+      | `Ld -> [ E.load ~pc:(pc 0) ~dst:(racc pos) ~addr:a () ]
+      | `St -> [ E.store ~pc:(pc 0) ~addr:a ~src1:(racc pos) () ]
+      | `LdSt ->
+        [ E.load ~pc:(pc 0) ~dst:(racc pos) ~addr:a (); E.store ~pc:(pc 1) ~addr:(a + 8) ~src1:(racc pos) () ])
+
+let ml2_bw_ld scale = l2_bw_kernel ~mode:`Ld scale
+let ml2_bw_ldst scale = l2_bw_kernel ~mode:`LdSt scale
+let ml2_bw_st scale = l2_bw_kernel ~mode:`St scale
+
+(* Store-dominated kernels. *)
+let stl2 scale = l2_bw_kernel ~mode:`St scale
+
+let stl2b scale =
+  let iters = scaled scale 6_000 in
+  let lines = 256 * 1024 / 64 in
+  let r = fresh_region ~slots:16 in
+  let pc = Prog.Code.pc r in
+  with_loop r ~iters ~body_slots:10 ~body:(fun pos ->
+      List.init 8 (fun j -> E.alu ~pc:(pc j) ~dst:(racc j) ~src1:(racc j) ())
+      @ [ E.store ~pc:(pc 8) ~addr:(base + (pos mod lines * 64)) ~src1:(racc 0) () ])
+
+let stc scale =
+  let iters = scaled scale 12_000 in
+  let r = fresh_region ~slots:8 in
+  let pc = Prog.Code.pc r in
+  with_loop r ~iters ~body_slots:2 ~body:(fun pos ->
+      [ E.store ~pc:(pc 0) ~addr:(base + (pos mod 16 * 8)) ~src1:(racc 0) () ])
+
+(* Loads and stores with dynamic (data-carried) dependencies plus
+   unpredictable control. *)
+let m_dyn scale =
+  let hops = scaled scale 10_000 in
+  let rng = Util.Rng.create 0xD1 in
+  let addr = Prog.Mem.chase rng ~base ~bytes:(8 * 1024 * 1024) ~stride:64 in
+  let outcome = Prog.Outcome.random ~seed:0xD2 in
+  let r = fresh_region ~slots:8 in
+  let pc = Prog.Code.pc r in
+  with_loop r ~iters:hops ~body_slots:4 ~body:(fun pos ->
+      let a = addr pos in
+      [
+        E.load ~pc:(pc 0) ~dst:rptr ~addr:a ~src1:rptr ();
+        E.branch ~pc:(pc 1) ~taken:(outcome pos) ~target:(pc 3) ~src1:rptr ();
+        E.store ~pc:(pc 2) ~addr:(a + 8) ~src1:rptr ();
+      ])
+
+(* Non-cache-resident linked lists: a 128 MiB ring exceeds even the
+   MILK-V's 64 MiB LLC, so every hop is a DRAM round trip. *)
+let mm scale = chase_kernel ~footprint:(128 * 1024 * 1024) ~hops:25_000 ~with_store:false ~seed:0x717 scale
+let mm_st scale = chase_kernel ~footprint:(128 * 1024 * 1024) ~hops:25_000 ~with_store:true ~seed:0x718 scale
+
+(* --- Table 1 ---------------------------------------------------------------- *)
+
+let k ?setup ?(excluded = false) name category description stream =
+  {
+    name;
+    category;
+    description;
+    excluded;
+    setup = Option.map (fun f -> fun ~scale -> f scale) setup;
+    stream = (fun ~scale -> stream scale);
+  }
+
+let kb = 1024
+
+let l1_set _scale = warm ~base ~bytes:(32 * kb)
+let l2_set _scale = warm ~base ~bytes:(256 * kb)
+
+let all =
+  [
+    k "Cca" Control_flow "Completely biased branch" cca ~setup:(fun _ -> warm ~base ~bytes:(4 * kb));
+    k "Cce" Control_flow "Alternating branches" cce ~setup:(fun _ -> warm ~base ~bytes:(4 * kb));
+    k "CCh" Control_flow "Random control flow" cch ~setup:(fun _ -> warm ~base ~bytes:(4 * kb));
+    k "CCh_st" Control_flow "Impossible to predict control + stores" cch_st
+      ~setup:(fun _ -> warm ~base ~bytes:(4 * kb));
+    k "CCl" Control_flow "Impossible control w/ large basic blocks" ccl;
+    k "CCm" Control_flow "Heavily biased branches" ccm;
+    k "CF1" Control_flow "Inlining test for functions w/ loops" cf1;
+    k "CRd" Control_flow "Recursive control flow - 1000 deep" crd;
+    k "CRf" Control_flow "Recursive control flow - Fibonacci" crf;
+    k "CRm" Control_flow "Merge sort" ~excluded:true crm;
+    k "CS1" Control_flow "Switch - different each time" cs1 ~setup:(fun _ -> warm ~base ~bytes:kb);
+    k "CS3" Control_flow "Switch - different every third time" cs3
+      ~setup:(fun _ -> warm ~base ~bytes:kb);
+    k "DP1d" Data "Data parallel loop - double arithmetic" dp1d ~setup:l1_set;
+    k "DP1f" Data "Data parallel loop - float arithmetic" dp1f ~setup:l1_set;
+    k "DPT" Data "Data parallel loop - sin()" dpt ~setup:l1_set;
+    k "DPTd" Data "Data parallel loop - double sin()" dptd ~setup:l1_set;
+    k "DPcvt" Data "Data parallel loop - float to double" dpcvt ~setup:l1_set;
+    k "ED1" Execution "Int - length 1 dependency chain" ed1;
+    k "EF" Execution "FP - 8 independent instructions" ef;
+    k "EI" Execution "Int - 8 independent computations" ei;
+    k "EM1" Execution "Int mul - length 1 dependency chain" em1;
+    k "EM5" Execution "Int mul - length 5 dependency chain" em5;
+    k "MC" Cache "Conflict misses" mc;
+    k "MCS" Cache "Conflict misses with stores" mcs;
+    k "MD" Cache "Cache resident linked list traversal" md ~setup:l1_set;
+    k "MI" Cache "Independent access, cache resident" mi ~setup:l1_set;
+    k "MIM" Cache "Independent access, no conflicts" mim ~setup:l1_set;
+    k "MIM2" Cache "Independent access - 2 coalescing ops" mim2 ~setup:l1_set;
+    k "MIP" Cache "Instruction cache misses" mip ~setup:mip_setup;
+    k "ML2" Cache "L2 linked-list" ml2 ~setup:l2_set;
+    k "ML2_BW_ld" Cache "L2 linked-list - B/W limited (lds)" ml2_bw_ld ~setup:l2_set;
+    k "ML2_BW_ldst" Cache "L2 linked-list - B/W limited (ld/sts)" ml2_bw_ldst ~setup:l2_set;
+    k "ML2_BW_st" Cache "L2 linked-list - B/W limited (sts)" ml2_bw_st ~setup:l2_set;
+    k "ML2_st" Cache "L2 linked-list (sts)" ml2_st ~setup:l2_set;
+    k "STL2" Cache "Repeatedly store, L2 resident" stl2 ~setup:l2_set;
+    k "STL2b" Cache "Occasional stores, L2 resident" stl2b ~setup:l2_set;
+    k "STc" Cache "Repeated consecutive L1 store" stc ~setup:(fun _ -> warm ~base ~bytes:kb);
+    k "M_Dyn" Cache "Load store w/ dynamic dependencies" m_dyn;
+    k "MM" Memory "Non-cache resident linked-list" mm;
+    k "MM_st" Memory "Non-cache resident linked-list (sts)" mm_st;
+  ]
+
+let evaluated = List.filter (fun k -> not k.excluded) all
+
+let find name =
+  match List.find_opt (fun k -> k.name = name) all with
+  | Some k -> k
+  | None -> raise Not_found
+
+let by_category c = List.filter (fun k -> k.category = c) all

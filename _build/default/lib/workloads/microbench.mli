@@ -1,0 +1,22 @@
+(** The MicroBench suite: 40 microbenchmarks targeting individual
+    microarchitectural features (Table 1 of the paper), used to tune the
+    simulation models against the silicon references.
+
+    Kernel names, categories and behaviours follow the paper's Table 1.
+    [CRm] is constructed but flagged [excluded]: the paper dropped it
+    (segfault on every platform), so evaluated figures use 39 kernels.
+
+    Every kernel is a deterministic, re-traversable instruction stream;
+    default sizes give tens of thousands of dynamic instructions, scaled
+    by the [scale] argument. *)
+
+val all : Workload.kernel list
+(** All 40 kernels, in Table 1 order. *)
+
+val evaluated : Workload.kernel list
+(** The 39 kernels used in the paper's evaluation (without CRm). *)
+
+val find : string -> Workload.kernel
+(** Lookup by name; raises [Not_found]. *)
+
+val by_category : Workload.category -> Workload.kernel list

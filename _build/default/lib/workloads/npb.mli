@@ -1,0 +1,38 @@
+(** Mini-NPB: the four NAS Parallel Benchmarks the paper evaluates
+    (Table 2), reimplemented as MPI rank programs over our IR.
+
+    Each kernel keeps the computational and communication structure of the
+    original (NPB 3.4.2, MPI version) at a reduced problem size — the
+    paper itself had to cap runtimes because FPGA simulation is ~25-135x
+    slower than real time, and an interpreted simulator sits in the same
+    regime.  Scaling is *strong*: the global problem size is fixed and
+    split across ranks, as in the paper's 1- vs 4-rank runs.
+
+    - CG: conjugate gradient with a random sparse matrix (gather-heavy,
+      memory latency); per iteration one allgather of p and two scalar
+      allreduces, as in the reference code's communication skeleton.
+    - EP: Marsaglia-polar Gaussian deviates (compute-bound; accept branch
+      driven by real arithmetic); one 10-counter allreduce at the end.
+    - IS: bucket sort of uniform integer keys (random-access histogram,
+      memory latency + bandwidth); an alltoall key exchange.
+    - MG: V-cycle multigrid with a 7-point stencil and per-level halo
+      exchanges (memory bandwidth).
+
+    [*_program] constructors expose the {!Codegen} knob; the [app]
+    records use {!Codegen.default}. *)
+
+val cg_program : ?codegen:Codegen.t -> ranks:int -> scale:float -> unit -> Smpi.program
+val ep_program : ?codegen:Codegen.t -> ranks:int -> scale:float -> unit -> Smpi.program
+val is_program : ?codegen:Codegen.t -> ranks:int -> scale:float -> unit -> Smpi.program
+val mg_program : ?codegen:Codegen.t -> ranks:int -> scale:float -> unit -> Smpi.program
+
+val cg : Workload.app
+val ep : Workload.app
+val is : Workload.app
+val mg : Workload.app
+
+val all : Workload.app list
+(** CG, EP, IS, MG — the paper's Table 2 selection. *)
+
+val find : string -> Workload.app
+(** Lookup by name (lowercase); raises [Not_found]. *)

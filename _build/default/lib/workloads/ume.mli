@@ -1,0 +1,37 @@
+(** Mini-UME: the Unstructured Mesh Explorations proxy app (LANL).
+
+    UME's performance signature is multi-level indirection through
+    explicit connectivity maps — high integer-op counts, high load/store
+    ratios, low FP intensity.  We build a hexahedral mesh of [n]³ zones
+    with real zone→corner→point and face→point connectivity (point ids
+    shuffled, as unstructured numbering gives no geometric locality), and
+    emit the paper's three measured kernels:
+
+    - the original gather kernel (zone-centred accumulation through
+      corners),
+    - the inverted kernel (corner-centred scatter into zones), and
+    - the face-area kernel (4-point gathers + cross products).
+
+    MPI-parallel over zone slabs with point-plane halo exchanges and a
+    volume allreduce per kernel, matching UME's communication skeleton.
+    Default mesh 12³ (paper: 32³; ratios are size-invariant to first
+    order — see DESIGN.md). *)
+
+type mesh = {
+  n : int;  (** zones per side *)
+  zones : int;
+  points : int;
+  corners : int;
+  faces : int;
+  corner_to_point : int array;
+  face_to_point : int array;  (** 4 entries per face *)
+}
+
+val build_mesh : ?seed:int -> n:int -> unit -> mesh
+(** Construct the connectivity; deterministic in [seed]. *)
+
+val program : ?codegen:Codegen.t -> ranks:int -> scale:float -> unit -> Smpi.program
+(** The three kernels in sequence, as timed in the paper (total runtime =
+    original + inverted + face area). *)
+
+val app : Workload.app

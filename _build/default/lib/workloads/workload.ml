@@ -1,0 +1,33 @@
+type category =
+  | Control_flow
+  | Execution
+  | Data
+  | Cache
+  | Memory
+
+let category_name = function
+  | Control_flow -> "Control Flow"
+  | Execution -> "Execution"
+  | Data -> "Data"
+  | Cache -> "Cache"
+  | Memory -> "Memory"
+
+let all_categories = [ Control_flow; Execution; Data; Cache; Memory ]
+
+type kernel = {
+  name : string;
+  category : category;
+  description : string;
+  excluded : bool;
+  setup : (scale:float -> Isa.Insn.t Seq.t) option;
+  stream : scale:float -> Isa.Insn.t Seq.t;
+}
+
+type app = {
+  app_name : string;
+  app_description : string;
+  characteristics : string;
+  make : codegen:Codegen.t -> ranks:int -> scale:float -> Smpi.program;
+}
+
+let data_base ~rank = 0x1000_0000 + (rank * 0x0400_0000)

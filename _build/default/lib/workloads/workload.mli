@@ -1,0 +1,51 @@
+(** Common workload metadata.
+
+    Microbenchmarks are single-stream kernels classified by the MicroBench
+    category taxonomy (Table 1 of the paper); applications are MPI rank
+    programs.  Streams returned by constructors are lazily generated;
+    application streams interleave real computation with emission and are
+    single-traversal — obtain a fresh program per run from its
+    constructor. *)
+
+type category =
+  | Control_flow
+  | Execution
+  | Data
+  | Cache
+  | Memory
+
+val category_name : category -> string
+val all_categories : category list
+
+(** A single-stream microbenchmark kernel. *)
+type kernel = {
+  name : string;
+  category : category;
+  description : string;
+  excluded : bool;
+      (** CRm is excluded from evaluation, as in the paper (it segfaulted
+          on every platform there; we keep it runnable but flagged). *)
+  setup : (scale:float -> Isa.Insn.t Seq.t) option;
+      (** Un-timed preparation, as in the C suite (allocate + initialize
+          the working set): executed on the same SoC before the measured
+          stream, so caches reach their steady state; the harness times
+          only {!field-stream}. *)
+  stream : scale:float -> Isa.Insn.t Seq.t;
+      (** [stream ~scale] regenerates the kernel's measured instruction
+          stream; [scale] multiplies iteration counts (1.0 = default
+          size). *)
+}
+
+(** An MPI application workload. *)
+type app = {
+  app_name : string;
+  app_description : string;
+  characteristics : string;  (** e.g. "Memory Latency, BW" — Table 2 *)
+  make : codegen:Codegen.t -> ranks:int -> scale:float -> Smpi.program;
+      (** Build a fresh (single-traversal) rank program compiled with the
+          given {!Codegen} quality. *)
+}
+
+val data_base : rank:int -> int
+(** Base address of a rank's private data segment; ranks get disjoint
+    64 MiB windows so shared caches see distinct physical lines. *)

@@ -1,0 +1,1 @@
+test/test_branch.ml: Alcotest Array Branch Gen Isa List Printf QCheck QCheck_alcotest Util

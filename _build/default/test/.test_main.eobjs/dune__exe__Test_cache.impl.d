@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Cache Printf QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_dram.ml: Alcotest Dram Float Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_firesim.ml: Alcotest Firesim Float List Platform Printf Util

@@ -1,0 +1,1 @@
+test/test_multinode.ml: Alcotest Array Firesim Isa Platform Printf Seq Smpi String Workloads

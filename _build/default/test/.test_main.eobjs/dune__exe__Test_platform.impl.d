@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest Array Cache Catalog Config Dram Float Isa List Platform Printf Seq Smpi Workloads

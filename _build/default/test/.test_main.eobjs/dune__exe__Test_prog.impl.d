@@ -1,0 +1,1 @@
+test/test_prog.ml: Alcotest Float Hashtbl Isa List Prog QCheck QCheck_alcotest Seq Util

@@ -1,0 +1,1 @@
+test/test_rv64.ml: Alcotest Array Format Fun Isa List Option Platform QCheck QCheck_alcotest Seq

@@ -1,0 +1,1 @@
+test/test_simbridge.ml: Alcotest List Platform Printf Simbridge String Workloads

@@ -1,0 +1,1 @@
+test/test_smpi.ml: Alcotest Array Isa List QCheck QCheck_alcotest Seq Smpi

@@ -1,0 +1,1 @@
+test/test_tlb.ml: Alcotest Isa Platform Printf QCheck QCheck_alcotest Seq

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Float Hashtbl Isa List Printf Prog Seq Smpi Workloads

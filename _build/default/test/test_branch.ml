@@ -1,0 +1,177 @@
+(* Tests for branch predictors and the composite frontend. *)
+
+let train_and_rate config outcomes =
+  let p = Branch.Predictor.create config in
+  let correct = ref 0 in
+  List.iteri
+    (fun _ taken ->
+      if Branch.Predictor.predict p ~pc:0x400 = taken then incr correct;
+      Branch.Predictor.update p ~pc:0x400 ~taken)
+    outcomes;
+  float_of_int !correct /. float_of_int (List.length outcomes)
+
+let repeat n x = List.init n (fun _ -> x)
+
+let test_static () =
+  Alcotest.(check (float 0.0)) "static taken on all-taken" 1.0
+    (train_and_rate Branch.Predictor.Static_taken (repeat 100 true));
+  Alcotest.(check (float 0.0)) "static not-taken on all-taken" 0.0
+    (train_and_rate Branch.Predictor.Static_taken (repeat 100 false))
+
+let test_bimodal_biased () =
+  let rate = train_and_rate (Branch.Predictor.Bimodal { entries = 256 }) (repeat 1000 true) in
+  Alcotest.(check bool) "bimodal learns bias" true (rate > 0.99)
+
+let test_bimodal_alternating_poor () =
+  let outcomes = List.init 1000 (fun i -> i mod 2 = 0) in
+  let rate = train_and_rate (Branch.Predictor.Bimodal { entries = 256 }) outcomes in
+  (* A 2-bit counter cannot track strict alternation. *)
+  Alcotest.(check bool) "bimodal poor on alternation" true (rate < 0.7)
+
+let test_gshare_alternating_good () =
+  let outcomes = List.init 2000 (fun i -> i mod 2 = 0) in
+  let rate = train_and_rate (Branch.Predictor.Gshare { entries = 1024; history_bits = 8 }) outcomes in
+  Alcotest.(check bool) "gshare learns alternation" true (rate > 0.9)
+
+let test_tage_alternating_good () =
+  let outcomes = List.init 2000 (fun i -> i mod 2 = 0) in
+  let rate =
+    train_and_rate
+      (Branch.Predictor.Tage { base_entries = 512; tables = 4; table_entries = 256; max_history = 32 })
+      outcomes
+  in
+  Alcotest.(check bool) "tage learns alternation" true (rate > 0.9)
+
+let test_tage_long_pattern () =
+  (* Period-7 pattern: needs history, defeats bimodal. *)
+  let pat = [| true; true; false; true; false; false; true |] in
+  let outcomes = List.init 4000 (fun i -> pat.(i mod 7)) in
+  let tage =
+    train_and_rate
+      (Branch.Predictor.Tage { base_entries = 512; tables = 6; table_entries = 512; max_history = 32 })
+      outcomes
+  in
+  let bimodal = train_and_rate (Branch.Predictor.Bimodal { entries = 512 }) outcomes in
+  Alcotest.(check bool) (Printf.sprintf "tage (%.2f) beats bimodal (%.2f)" tage bimodal) true
+    (tage > bimodal)
+
+let test_random_unpredictable () =
+  let rng = Util.Rng.create 5 in
+  let outcomes = List.init 4000 (fun _ -> Util.Rng.bool rng) in
+  let rate =
+    train_and_rate
+      (Branch.Predictor.Tage { base_entries = 512; tables = 4; table_entries = 256; max_history = 32 })
+      outcomes
+  in
+  Alcotest.(check bool) "near coin flip" true (rate < 0.62)
+
+let test_invalid_configs () =
+  Alcotest.check_raises "non-pow2 bimodal"
+    (Invalid_argument "Predictor.Bimodal: size must be a positive power of two") (fun () ->
+      ignore (Branch.Predictor.create (Branch.Predictor.Bimodal { entries = 100 })))
+
+(* --- frontend --- *)
+
+let ctrl_insn ?(kind = Isa.Insn.Branch) ~pc ~taken ~target () =
+  Isa.Insn.make ~ctrl:{ Isa.Insn.taken; target } ~pc kind
+
+let test_frontend_loop_branch () =
+  let fe = Branch.Frontend.create Branch.Frontend.rocket_config in
+  (* A loop branch taken 99 times then falling through. *)
+  for _ = 1 to 99 do
+    ignore (Branch.Frontend.resolve fe (ctrl_insn ~pc:0x100 ~taken:true ~target:0x80 ()))
+  done;
+  ignore (Branch.Frontend.resolve fe (ctrl_insn ~pc:0x100 ~taken:false ~target:0x104 ()));
+  let s = Branch.Frontend.stats fe in
+  Alcotest.(check bool)
+    (Printf.sprintf "few mispredicts (%d)" s.Branch.Frontend.mispredicts)
+    true
+    (s.Branch.Frontend.mispredicts <= 5)
+
+let test_frontend_call_ret_matched () =
+  let fe = Branch.Frontend.create Branch.Frontend.rocket_config in
+  (* call/ret nest within RAS depth: returns predictable after warmup. *)
+  for _ = 1 to 50 do
+    ignore (Branch.Frontend.resolve fe (ctrl_insn ~kind:Isa.Insn.Call ~pc:0x200 ~taken:true ~target:0x400 ()));
+    ignore (Branch.Frontend.resolve fe (ctrl_insn ~kind:Isa.Insn.Ret ~pc:0x410 ~taken:true ~target:0x204 ()))
+  done;
+  let s = Branch.Frontend.stats fe in
+  Alcotest.(check int) "no ras mispredicts" 0 s.Branch.Frontend.ras_mispredicts
+
+let test_frontend_deep_recursion_overflows_ras () =
+  let fe = Branch.Frontend.create Branch.Frontend.rocket_config in
+  let depth = 100 in
+  for d = 0 to depth - 1 do
+    ignore
+      (Branch.Frontend.resolve fe
+         (ctrl_insn ~kind:Isa.Insn.Call ~pc:(0x200 + (d * 8)) ~taken:true ~target:0x400 ()))
+  done;
+  for d = depth - 1 downto 0 do
+    ignore
+      (Branch.Frontend.resolve fe
+         (ctrl_insn ~kind:Isa.Insn.Ret ~pc:0x410 ~taken:true ~target:(0x204 + (d * 8)) ()))
+  done;
+  let s = Branch.Frontend.stats fe in
+  (* Rocket's 6-entry RAS cannot hold 100 frames. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "ras overflow mispredicts (%d)" s.Branch.Frontend.ras_mispredicts)
+    true
+    (s.Branch.Frontend.ras_mispredicts > 50)
+
+let test_frontend_btb_indirect () =
+  let fe = Branch.Frontend.create Branch.Frontend.rocket_config in
+  (* An indirect jump whose target changes every time defeats the BTB. *)
+  for i = 0 to 99 do
+    ignore
+      (Branch.Frontend.resolve fe
+         (ctrl_insn ~kind:Isa.Insn.Jump ~pc:0x500 ~taken:true ~target:(0x1000 + (i * 64)) ()))
+  done;
+  Alcotest.(check bool) "jump target misses" true
+    (Branch.Frontend.mispredict_rate fe > 0.9)
+
+let test_frontend_btb_stable () =
+  let fe = Branch.Frontend.create Branch.Frontend.rocket_config in
+  for _ = 0 to 99 do
+    ignore (Branch.Frontend.resolve fe (ctrl_insn ~kind:Isa.Insn.Jump ~pc:0x500 ~taken:true ~target:0x1000 ()))
+  done;
+  Alcotest.(check bool) "stable jump learned" true (Branch.Frontend.mispredict_rate fe < 0.1)
+
+let test_frontend_rejects_non_ctrl () =
+  let fe = Branch.Frontend.create Branch.Frontend.rocket_config in
+  Alcotest.check_raises "non ctrl" (Invalid_argument "Frontend.resolve: not a control insn")
+    (fun () -> ignore (Branch.Frontend.resolve fe (Isa.Insn.make ~pc:0 Isa.Insn.Int_alu)))
+
+let prop_predictor_total =
+  (* Any outcome sequence: predictors never crash and rate is in [0,1]. *)
+  QCheck.Test.make ~name:"predictors total on arbitrary outcome sequences" ~count:50
+    QCheck.(list_of_size Gen.(1 -- 500) bool)
+    (fun outcomes ->
+      List.for_all
+        (fun cfg ->
+          let r = train_and_rate cfg outcomes in
+          r >= 0.0 && r <= 1.0)
+        [
+          Branch.Predictor.Static_taken;
+          Branch.Predictor.Bimodal { entries = 64 };
+          Branch.Predictor.Gshare { entries = 64; history_bits = 6 };
+          Branch.Predictor.Tage { base_entries = 64; tables = 3; table_entries = 64; max_history = 16 };
+        ])
+
+let suite =
+  [
+    Alcotest.test_case "static predictors" `Quick test_static;
+    Alcotest.test_case "bimodal learns bias" `Quick test_bimodal_biased;
+    Alcotest.test_case "bimodal poor on alternation" `Quick test_bimodal_alternating_poor;
+    Alcotest.test_case "gshare learns alternation" `Quick test_gshare_alternating_good;
+    Alcotest.test_case "tage learns alternation" `Quick test_tage_alternating_good;
+    Alcotest.test_case "tage beats bimodal on period-7" `Quick test_tage_long_pattern;
+    Alcotest.test_case "random is unpredictable" `Quick test_random_unpredictable;
+    Alcotest.test_case "invalid configs rejected" `Quick test_invalid_configs;
+    Alcotest.test_case "frontend loop branch" `Quick test_frontend_loop_branch;
+    Alcotest.test_case "frontend call/ret" `Quick test_frontend_call_ret_matched;
+    Alcotest.test_case "frontend RAS overflow" `Quick test_frontend_deep_recursion_overflows_ras;
+    Alcotest.test_case "frontend indirect jump" `Quick test_frontend_btb_indirect;
+    Alcotest.test_case "frontend stable jump" `Quick test_frontend_btb_stable;
+    Alcotest.test_case "frontend rejects non-ctrl" `Quick test_frontend_rejects_non_ctrl;
+    QCheck_alcotest.to_alcotest prop_predictor_total;
+  ]

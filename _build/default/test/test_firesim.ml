@@ -1,0 +1,137 @@
+(* Tests for the token-channel substrate: the FireSim correctness property
+   (target behaviour independent of host scheduling) and the host-rate
+   model. *)
+
+let test_channel_fifo () =
+  let c = Firesim.Channel.create ~capacity:4 in
+  Firesim.Channel.enqueue c 1;
+  Firesim.Channel.enqueue c 2;
+  Alcotest.(check int) "fifo order" 1 (Firesim.Channel.dequeue c);
+  Alcotest.(check int) "fifo order 2" 2 (Firesim.Channel.dequeue c)
+
+let test_channel_capacity () =
+  let c = Firesim.Channel.create ~capacity:2 in
+  Firesim.Channel.enqueue c 1;
+  Firesim.Channel.enqueue c 2;
+  Alcotest.(check bool) "full" false (Firesim.Channel.can_enqueue c);
+  Alcotest.check_raises "overflow" (Invalid_argument "Channel.enqueue: full") (fun () ->
+      Firesim.Channel.enqueue c 3);
+  ignore (Firesim.Channel.dequeue c);
+  Alcotest.(check bool) "room again" true (Firesim.Channel.can_enqueue c)
+
+let test_channel_empty_dequeue () =
+  let c = Firesim.Channel.create ~capacity:1 in
+  Alcotest.check_raises "empty" (Invalid_argument "Channel.dequeue: empty") (fun () ->
+      ignore (Firesim.Channel.dequeue c))
+
+(* A two-model pipeline: producer computes f(cycle); consumer accumulates.
+   Run under different host policies; the consumer's trace must be
+   identical. *)
+let pipeline_trace policy =
+  let ch = Firesim.Channel.create ~capacity:3 in
+  let sink = Firesim.Channel.create ~capacity:1024 in
+  let producer =
+    Firesim.Scheduler.model ~name:"producer" ~inputs:[] ~outputs:[ ch ]
+      ~step:(fun cycle _ -> [ (cycle * 7) land 0xFF ])
+  in
+  let consumer =
+    Firesim.Scheduler.model ~name:"consumer" ~inputs:[ ch ] ~outputs:[ sink ]
+      ~step:(fun cycle tokens -> [ (List.hd tokens + cycle) land 0xFFFF ])
+  in
+  let _ = Firesim.Scheduler.run ~policy ~models:[ producer; consumer ] ~target_cycles:200 () in
+  List.init (Firesim.Channel.occupancy sink) (fun _ -> Firesim.Channel.dequeue sink)
+
+let test_schedule_independence () =
+  let rr = pipeline_trace Firesim.Scheduler.Round_robin in
+  let rev = pipeline_trace Firesim.Scheduler.Reverse in
+  let rnd = pipeline_trace (Firesim.Scheduler.Random (Util.Rng.create 99)) in
+  Alcotest.(check (list int)) "reverse = round-robin" rr rev;
+  Alcotest.(check (list int)) "random = round-robin" rr rnd
+
+let test_scheduler_counts () =
+  let ch = Firesim.Channel.create ~capacity:1 in
+  let sink = Firesim.Channel.create ~capacity:1000 in
+  let a = Firesim.Scheduler.model ~name:"a" ~inputs:[] ~outputs:[ ch ] ~step:(fun c _ -> [ c ]) in
+  let b = Firesim.Scheduler.model ~name:"b" ~inputs:[ ch ] ~outputs:[ sink ] ~step:(fun _ t -> t) in
+  let o = Firesim.Scheduler.run ~models:[ a; b ] ~target_cycles:50 () in
+  Alcotest.(check int) "fired = 2 x 50" 100 o.Firesim.Scheduler.fired;
+  Alcotest.(check int) "a done" 50 (Firesim.Scheduler.cycles_done a);
+  Alcotest.(check int) "b done" 50 (Firesim.Scheduler.cycles_done b)
+
+let test_scheduler_deadlock () =
+  (* Two models in a token cycle with no initial tokens. *)
+  let c1 = Firesim.Channel.create ~capacity:1 in
+  let c2 = Firesim.Channel.create ~capacity:1 in
+  let a = Firesim.Scheduler.model ~name:"a" ~inputs:[ c2 ] ~outputs:[ c1 ] ~step:(fun _ t -> t) in
+  let b = Firesim.Scheduler.model ~name:"b" ~inputs:[ c1 ] ~outputs:[ c2 ] ~step:(fun _ t -> t) in
+  match Firesim.Scheduler.run ~models:[ a; b ] ~target_cycles:10 () with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected deadlock"
+
+let test_scheduler_primed_loop () =
+  (* The same cycle with one initial token circulates fine. *)
+  let c1 = Firesim.Channel.create ~capacity:2 in
+  let c2 = Firesim.Channel.create ~capacity:2 in
+  Firesim.Channel.enqueue c2 0;
+  let a = Firesim.Scheduler.model ~name:"a" ~inputs:[ c2 ] ~outputs:[ c1 ] ~step:(fun _ t -> t) in
+  let b = Firesim.Scheduler.model ~name:"b" ~inputs:[ c1 ] ~outputs:[ c2 ] ~step:(fun _ t -> t) in
+  let o = Firesim.Scheduler.run ~models:[ a; b ] ~target_cycles:25 () in
+  Alcotest.(check int) "both advanced" 50 o.Firesim.Scheduler.fired
+
+let fake_result ~cycles ~dram : Platform.Soc.result =
+  {
+    platform = "x";
+    ranks = 1;
+    cycles;
+    seconds = float_of_int cycles /. 1.6e9;
+    instructions = cycles;
+    per_core = [||];
+    l1d_misses = 0;
+    l1d_accesses = 0;
+    l2_misses = 0;
+    l2_accesses = 0;
+    dram_requests = dram;
+    tlb_walks = 0;
+    comm = None;
+  }
+
+let test_host_rates_match_paper () =
+  (* With negligible DRAM traffic, the configured hosts land at the
+     paper's quoted simulation rates. *)
+  let r = fake_result ~cycles:100_000_000 ~dram:0 in
+  let rocket = Firesim.Host.report Firesim.Host.u250_rocket ~target_freq_hz:1.6e9 r in
+  let boom = Firesim.Host.report Firesim.Host.u250_boom ~target_freq_hz:2.0e9 r in
+  Alcotest.(check bool)
+    (Printf.sprintf "rocket ~60 MHz (%.1f)" rocket.Firesim.Host.target_mhz)
+    true
+    (Float.abs (rocket.Firesim.Host.target_mhz -. 60.0) < 2.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "rocket ~25x slowdown (%.0f)" rocket.Firesim.Host.slowdown)
+    true
+    (Float.abs (rocket.Firesim.Host.slowdown -. 26.7) < 3.0);
+  Alcotest.(check bool) (Printf.sprintf "boom ~15 MHz (%.1f)" boom.Firesim.Host.target_mhz) true
+    (Float.abs (boom.Firesim.Host.target_mhz -. 15.0) < 1.0);
+  Alcotest.(check bool) (Printf.sprintf "boom ~133x (%.0f)" boom.Firesim.Host.slowdown) true
+    (Float.abs (boom.Firesim.Host.slowdown -. 133.0) < 10.0)
+
+let test_host_dram_stalls_slow_simulation () =
+  let light = fake_result ~cycles:10_000_000 ~dram:0 in
+  let heavy = fake_result ~cycles:10_000_000 ~dram:2_000_000 in
+  let l = Firesim.Host.report Firesim.Host.u250_rocket ~target_freq_hz:1.6e9 light in
+  let h = Firesim.Host.report Firesim.Host.u250_rocket ~target_freq_hz:1.6e9 heavy in
+  Alcotest.(check bool) "memory traffic lowers sim rate" true
+    (h.Firesim.Host.target_mhz < l.Firesim.Host.target_mhz);
+  Alcotest.(check bool) "fmr grows" true (h.Firesim.Host.effective_fmr > l.Firesim.Host.effective_fmr)
+
+let suite =
+  [
+    Alcotest.test_case "channel fifo" `Quick test_channel_fifo;
+    Alcotest.test_case "channel capacity" `Quick test_channel_capacity;
+    Alcotest.test_case "channel empty dequeue" `Quick test_channel_empty_dequeue;
+    Alcotest.test_case "schedule independence" `Quick test_schedule_independence;
+    Alcotest.test_case "scheduler counts" `Quick test_scheduler_counts;
+    Alcotest.test_case "scheduler deadlock" `Quick test_scheduler_deadlock;
+    Alcotest.test_case "primed token loop" `Quick test_scheduler_primed_loop;
+    Alcotest.test_case "host rates match paper" `Quick test_host_rates_match_paper;
+    Alcotest.test_case "dram stalls slow host" `Quick test_host_dram_stalls_slow_simulation;
+  ]

@@ -1,0 +1,128 @@
+(* Cross-layer integration tests: each microbenchmark must land in the
+   level of the memory hierarchy its Table 1 description names, verified
+   through the full SoC stack's statistics. *)
+
+module Mb = Workloads.Microbench
+
+let run ?(platform = Platform.Catalog.banana_pi_sim) name =
+  Simbridge.Runner.run_kernel ~scale:0.3 platform (Mb.find name)
+
+let miss_rate (r : Platform.Soc.result) =
+  float_of_int r.Platform.Soc.l1d_misses /. float_of_int (max 1 r.Platform.Soc.l1d_accesses)
+
+let test_md_is_l1_resident () =
+  let r = run "MD" in
+  Alcotest.(check bool)
+    (Printf.sprintf "MD l1 miss rate %.3f < 0.05" (miss_rate r))
+    true
+    (miss_rate r < 0.05)
+
+let test_ml2_misses_l1_hits_l2 () =
+  let r = run "ML2" in
+  Alcotest.(check bool)
+    (Printf.sprintf "ML2 misses L1 (%.2f)" (miss_rate r))
+    true
+    (miss_rate r > 0.3);
+  (* warmed by setup: almost no DRAM traffic in the measured phase;
+     compare misses at L2 to the L1 misses feeding it *)
+  let l2_rate = float_of_int r.Platform.Soc.l2_misses /. float_of_int (max 1 r.Platform.Soc.l2_accesses) in
+  Alcotest.(check bool) (Printf.sprintf "ML2 hits L2 (%.3f)" l2_rate) true (l2_rate < 0.1)
+
+let test_mm_reaches_dram () =
+  let r = run "MM" in
+  (* every hop is a fresh 64 MiB+ line: all levels miss *)
+  Alcotest.(check bool) "many DRAM requests" true
+    (r.Platform.Soc.dram_requests > r.Platform.Soc.instructions / 8)
+
+let test_mm_tlb_hostile () =
+  let r = run "MM" in
+  Alcotest.(check bool) "page walks on most hops" true
+    (r.Platform.Soc.tlb_walks > r.Platform.Soc.dram_requests / 3)
+
+let test_mc_conflicts_in_l1 () =
+  (* MC's same-set addresses must keep missing despite a tiny footprint. *)
+  let r = run "MC" in
+  Alcotest.(check bool)
+    (Printf.sprintf "conflict misses persist (%.2f)" (miss_rate r))
+    true
+    (miss_rate r > 0.5)
+
+let test_mi_within_l1 () =
+  let r = run "MI" in
+  Alcotest.(check bool) (Printf.sprintf "MI warm (%.3f)" (miss_rate r)) true (miss_rate r < 0.05)
+
+let test_stc_store_hits () =
+  let r = run "STc" in
+  Alcotest.(check bool) "stores stay in L1" true (r.Platform.Soc.dram_requests < 200)
+
+let test_mip_icache_pressure () =
+  (* MIP's misses are on the I side: D-side stats stay quiet while the
+     shared L2 sees heavy (unprefetched) refill traffic. *)
+  let r = run ~platform:Platform.Catalog.milkv_sim "MIP" in
+  Alcotest.(check bool) "L2 sees icache refills" true (r.Platform.Soc.l2_accesses > 10_000);
+  Alcotest.(check bool) "D-side quiet" true
+    (r.Platform.Soc.l1d_accesses < r.Platform.Soc.instructions / 10)
+
+let test_ep_is_compute_bound () =
+  let r = Simbridge.Runner.run_app ~scale:0.3 ~ranks:1 Platform.Catalog.banana_pi_sim Workloads.Npb.ep in
+  Alcotest.(check bool) "almost no DRAM traffic" true
+    (r.Platform.Soc.dram_requests * 100 < r.Platform.Soc.instructions)
+
+let test_cg_gathers_hit_cache () =
+  let r = Simbridge.Runner.run_app ~scale:0.3 ~ranks:1 Platform.Catalog.banana_pi_sim Workloads.Npb.cg in
+  let rate = miss_rate r in
+  Alcotest.(check bool) (Printf.sprintf "CG mostly cached (%.3f)" rate) true (rate < 0.2)
+
+let test_full_pipeline_deterministic () =
+  (* The whole stack — workload generation, MPI engine, multicore SoC,
+     TLBs, prefetchers — must be bit-reproducible. *)
+  let go () =
+    let r = Simbridge.Runner.run_app ~scale:0.3 ~ranks:4 Platform.Catalog.milkv_sim Workloads.Npb.mg in
+    r.Platform.Soc.cycles
+  in
+  Alcotest.(check int) "same cycles twice" (go ()) (go ())
+
+let test_all_kernels_run_on_all_platforms () =
+  (* Smoke: every evaluated kernel completes on every catalog platform. *)
+  List.iter
+    (fun (p : Platform.Config.t) ->
+      List.iter
+        (fun (k : Workloads.Workload.kernel) ->
+          let r = Simbridge.Runner.run_kernel ~scale:0.02 p k in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s on %s" k.Workloads.Workload.name p.Platform.Config.name)
+            true
+            (r.Platform.Soc.cycles > 0))
+        (List.filteri (fun i _ -> i mod 4 = 0) Mb.evaluated))
+    Platform.Catalog.all
+
+let test_all_apps_all_rank_counts () =
+  let apps = Workloads.Npb.all @ [ Workloads.Ume.app; Workloads.Lammps.lj; Workloads.Lammps.chain ] in
+  List.iter
+    (fun (a : Workloads.Workload.app) ->
+      List.iter
+        (fun ranks ->
+          let r = Simbridge.Runner.run_app ~scale:0.1 ~ranks Platform.Catalog.rocket1 a in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s x%d" a.Workloads.Workload.app_name ranks)
+            true
+            (r.Platform.Soc.cycles > 0))
+        [ 1; 2; 3; 4 ])
+    apps
+
+let suite =
+  [
+    Alcotest.test_case "MD is L1-resident" `Quick test_md_is_l1_resident;
+    Alcotest.test_case "ML2 lands in L2" `Quick test_ml2_misses_l1_hits_l2;
+    Alcotest.test_case "MM reaches DRAM" `Quick test_mm_reaches_dram;
+    Alcotest.test_case "MM is TLB-hostile" `Quick test_mm_tlb_hostile;
+    Alcotest.test_case "MC conflicts in L1" `Quick test_mc_conflicts_in_l1;
+    Alcotest.test_case "MI warm in L1" `Quick test_mi_within_l1;
+    Alcotest.test_case "STc store hits" `Quick test_stc_store_hits;
+    Alcotest.test_case "MIP pressures icache path" `Quick test_mip_icache_pressure;
+    Alcotest.test_case "EP compute-bound" `Quick test_ep_is_compute_bound;
+    Alcotest.test_case "CG gathers cached" `Quick test_cg_gathers_hit_cache;
+    Alcotest.test_case "full pipeline deterministic" `Quick test_full_pipeline_deterministic;
+    Alcotest.test_case "kernels x platforms smoke" `Slow test_all_kernels_run_on_all_platforms;
+    Alcotest.test_case "apps x rank counts smoke" `Slow test_all_apps_all_rank_counts;
+  ]

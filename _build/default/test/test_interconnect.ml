@@ -1,0 +1,69 @@
+(* Tests for the system-bus model. *)
+
+let bus64 () = Interconnect.Bus.create (Interconnect.Bus.config ~name:"b64" ~width_bits:64 ())
+let bus128 () = Interconnect.Bus.create (Interconnect.Bus.config ~name:"b128" ~width_bits:128 ())
+
+let test_beat_count () =
+  let b = bus64 () in
+  let t = Interconnect.Bus.transfer b ~cycle:0 ~bytes:64 in
+  Alcotest.(check int) "64B over 64-bit = 8 beats" 8 t;
+  let s = Interconnect.Bus.stats b in
+  Alcotest.(check int) "beats" 8 s.Interconnect.Bus.beats
+
+let test_wider_bus_faster () =
+  let t64 = Interconnect.Bus.transfer (bus64 ()) ~cycle:0 ~bytes:64 in
+  let t128 = Interconnect.Bus.transfer (bus128 ()) ~cycle:0 ~bytes:64 in
+  Alcotest.(check int) "128-bit halves time" (t64 / 2) t128
+
+let test_contention_serializes () =
+  let b = bus64 () in
+  let t1 = Interconnect.Bus.transfer b ~cycle:0 ~bytes:64 in
+  let t2 = Interconnect.Bus.transfer b ~cycle:0 ~bytes:64 in
+  Alcotest.(check int) "second waits" (t1 + 8) t2;
+  Alcotest.(check int) "contention counted" 1 (Interconnect.Bus.stats b).Interconnect.Bus.contended
+
+let test_idle_gap_no_contention () =
+  let b = bus64 () in
+  ignore (Interconnect.Bus.transfer b ~cycle:0 ~bytes:64);
+  ignore (Interconnect.Bus.transfer b ~cycle:100 ~bytes:64);
+  Alcotest.(check int) "no contention" 0 (Interconnect.Bus.stats b).Interconnect.Bus.contended
+
+let test_partial_beat_rounds_up () =
+  let b = bus64 () in
+  let t = Interconnect.Bus.transfer b ~cycle:0 ~bytes:9 in
+  Alcotest.(check int) "9 bytes = 2 beats" 2 t
+
+let test_utilization () =
+  let b = bus64 () in
+  ignore (Interconnect.Bus.transfer b ~cycle:0 ~bytes:64);
+  Alcotest.(check (float 1e-9)) "8/16 busy" 0.5 (Interconnect.Bus.utilization b ~total_cycles:16)
+
+let test_invalid () =
+  Alcotest.check_raises "bad width" (Invalid_argument "Bus.config: width_bits") (fun () ->
+      ignore (Interconnect.Bus.config ~name:"x" ~width_bits:7 ()));
+  let b = bus64 () in
+  Alcotest.check_raises "bad bytes" (Invalid_argument "Bus.transfer: bytes") (fun () ->
+      ignore (Interconnect.Bus.transfer b ~cycle:0 ~bytes:0))
+
+let prop_fcfs_monotone =
+  (* Transfers issued in time order complete in time order. *)
+  QCheck.Test.make ~name:"bus completions monotone for ordered arrivals" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 30) (pair (int_range 0 1000) (int_range 1 512)))
+    (fun reqs ->
+      let reqs = List.sort compare reqs in
+      let b = bus64 () in
+      let completions = List.map (fun (c, bytes) -> Interconnect.Bus.transfer b ~cycle:c ~bytes) reqs in
+      let rec mono = function a :: (b :: _ as tl) -> a <= b && mono tl | _ -> true in
+      mono completions)
+
+let suite =
+  [
+    Alcotest.test_case "beat count" `Quick test_beat_count;
+    Alcotest.test_case "wider bus faster" `Quick test_wider_bus_faster;
+    Alcotest.test_case "contention serializes" `Quick test_contention_serializes;
+    Alcotest.test_case "idle gap no contention" `Quick test_idle_gap_no_contention;
+    Alcotest.test_case "partial beat rounds up" `Quick test_partial_beat_rounds_up;
+    Alcotest.test_case "utilization" `Quick test_utilization;
+    Alcotest.test_case "invalid args" `Quick test_invalid;
+    QCheck_alcotest.to_alcotest prop_fcfs_monotone;
+  ]

@@ -1,0 +1,82 @@
+(* Tests for the instruction representation and latency tables. *)
+
+open Isa
+
+let mk = Insn.make
+
+let test_make_plain () =
+  let i = mk ~dst:5 ~src1:6 ~src2:7 ~pc:0x1000 Insn.Int_alu in
+  Alcotest.(check int) "pc" 0x1000 i.Insn.pc;
+  Alcotest.(check int) "dst" 5 i.Insn.dst;
+  Alcotest.(check int) "src1" 6 i.Insn.src1;
+  Alcotest.(check int) "src2" 7 i.Insn.src2;
+  Alcotest.(check bool) "no mem" true (i.Insn.mem = None);
+  Alcotest.(check bool) "no ctrl" true (i.Insn.ctrl = None)
+
+let test_make_mem () =
+  let i = mk ~dst:2 ~mem:{ Insn.addr = 0x2000; size = 8 } ~pc:4 Insn.Load in
+  match i.Insn.mem with
+  | Some m ->
+    Alcotest.(check int) "addr" 0x2000 m.Insn.addr;
+    Alcotest.(check int) "size" 8 m.Insn.size
+  | None -> Alcotest.fail "expected mem"
+
+let test_make_ctrl () =
+  let i = mk ~ctrl:{ Insn.taken = true; target = 0x30 } ~pc:8 Insn.Branch in
+  match i.Insn.ctrl with
+  | Some c ->
+    Alcotest.(check bool) "taken" true c.Insn.taken;
+    Alcotest.(check int) "target" 0x30 c.Insn.target
+  | None -> Alcotest.fail "expected ctrl"
+
+let test_classifiers () =
+  Alcotest.(check bool) "load is mem" true (Insn.is_mem Insn.Load);
+  Alcotest.(check bool) "store is mem" true (Insn.is_mem Insn.Store);
+  Alcotest.(check bool) "amo is mem" true (Insn.is_mem Insn.Amo);
+  Alcotest.(check bool) "alu not mem" false (Insn.is_mem Insn.Int_alu);
+  Alcotest.(check bool) "branch is ctrl" true (Insn.is_ctrl Insn.Branch);
+  Alcotest.(check bool) "ret is ctrl" true (Insn.is_ctrl Insn.Ret);
+  Alcotest.(check bool) "fp_add is fp" true (Insn.is_fp Insn.Fp_add);
+  Alcotest.(check bool) "fp_long is fp" true (Insn.is_fp Insn.Fp_long);
+  Alcotest.(check bool) "mul not fp" false (Insn.is_fp Insn.Int_mul)
+
+let test_kind_names_unique () =
+  let kinds =
+    [
+      Insn.Int_alu; Insn.Int_mul; Insn.Int_div; Insn.Fp_add; Insn.Fp_mul; Insn.Fp_div;
+      Insn.Fp_cvt; Insn.Fp_long; Insn.Load; Insn.Store; Insn.Branch; Insn.Jump; Insn.Call;
+      Insn.Ret; Insn.Fence; Insn.Amo; Insn.Nop;
+    ]
+  in
+  let names = List.map Insn.kind_name kinds in
+  Alcotest.(check int) "all distinct" (List.length names) (List.length (List.sort_uniq compare names))
+
+let test_latency_table () =
+  let t = Insn.Latency.default in
+  Alcotest.(check int) "alu 1 cycle" 1 (Insn.Latency.of_kind t Insn.Int_alu);
+  Alcotest.(check bool) "div slower than mul" true
+    (Insn.Latency.of_kind t Insn.Int_div > Insn.Latency.of_kind t Insn.Int_mul);
+  Alcotest.(check bool) "fp_long dominates" true
+    (Insn.Latency.of_kind t Insn.Fp_long > Insn.Latency.of_kind t Insn.Fp_div);
+  Alcotest.(check int) "load base" 1 (Insn.Latency.of_kind t Insn.Load)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_pp_smoke () =
+  let i = mk ~dst:1 ~src1:2 ~mem:{ Insn.addr = 64; size = 8 } ~pc:16 Insn.Load in
+  let s = Format.asprintf "%a" Insn.pp i in
+  Alcotest.(check bool) "mentions kind" true (contains s "load")
+
+let suite =
+  [
+    Alcotest.test_case "make plain" `Quick test_make_plain;
+    Alcotest.test_case "make mem" `Quick test_make_mem;
+    Alcotest.test_case "make ctrl" `Quick test_make_ctrl;
+    Alcotest.test_case "classifiers" `Quick test_classifiers;
+    Alcotest.test_case "kind names unique" `Quick test_kind_names_unique;
+    Alcotest.test_case "latency table ordering" `Quick test_latency_table;
+    Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+  ]

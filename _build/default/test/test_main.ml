@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "simbridge"
+    [
+      ("util", Test_util.suite);
+      ("isa", Test_isa.suite);
+      ("rv64", Test_rv64.suite);
+      ("prog", Test_prog.suite);
+      ("branch", Test_branch.suite);
+      ("cache", Test_cache.suite);
+      ("dram", Test_dram.suite);
+      ("interconnect", Test_interconnect.suite);
+      ("uarch", Test_uarch.suite);
+      ("smpi", Test_smpi.suite);
+      ("platform", Test_platform.suite);
+      ("firesim", Test_firesim.suite);
+      ("tlb", Test_tlb.suite);
+      ("multinode", Test_multinode.suite);
+      ("workloads", Test_workloads.suite);
+      ("report", Test_report.suite);
+      ("simbridge", Test_simbridge.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,136 @@
+(* Tests for the multi-node (scale-out) simulation. *)
+
+module I = Isa.Insn
+module Mn = Firesim.Multinode
+
+let alu_stream n = Seq.init n (fun i -> I.make ~dst:(5 + (i mod 8)) ~pc:(i mod 16 * 4) I.Int_alu)
+
+let cfg ?(nodes = 2) ?(ranks_per_node = 2) () =
+  { (Mn.default ~nodes Platform.Catalog.banana_pi_sim) with Mn.ranks_per_node }
+
+let test_topology_validation () =
+  let c = cfg () in
+  (* 4 ranks expected; give 3 *)
+  let program = Array.init 3 (fun _ -> [ Smpi.Compute (alu_stream 10) ]) in
+  match Mn.run c program with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected topology mismatch rejection"
+
+let test_pure_compute_ignores_network () =
+  let c = cfg () in
+  let program = Array.init 4 (fun _ -> [ Smpi.Compute (alu_stream 5000) ]) in
+  let r = Mn.run c program in
+  Alcotest.(check int) "no inter-node messages" 0 r.Mn.internode_messages;
+  Alcotest.(check bool) "compute time" true (r.Mn.cycles >= 5000)
+
+let test_internode_messages_counted () =
+  let c = cfg () in
+  (* rank 0 (node 0) -> rank 3 (node 1): crosses the switch;
+     rank 0 -> rank 1 stays local *)
+  let program =
+    [|
+      [
+        Smpi.Comm (Smpi.Send { dst = 3; bytes = 4096; tag = 0 });
+        Smpi.Comm (Smpi.Send { dst = 1; bytes = 4096; tag = 1 });
+      ];
+      [ Smpi.Comm (Smpi.Recv { src = 0; bytes = 4096; tag = 1 }) ];
+      [];
+      [ Smpi.Comm (Smpi.Recv { src = 0; bytes = 4096; tag = 0 }) ];
+    |]
+  in
+  let r = Mn.run c program in
+  Alcotest.(check int) "one inter-node message" 1 r.Mn.internode_messages;
+  Alcotest.(check int) "its bytes" 4096 r.Mn.internode_bytes
+
+let test_internode_slower_than_local () =
+  let time dst =
+    let program = Array.init 4 (fun r ->
+        if r = 0 then [ Smpi.Comm (Smpi.Send { dst; bytes = 64 * 1024; tag = 0 }) ]
+        else if r = dst then [ Smpi.Comm (Smpi.Recv { src = 0; bytes = 64 * 1024; tag = 0 }) ]
+        else [])
+    in
+    let r = Mn.run (cfg ()) program in
+    r.Mn.cycles
+  in
+  let local = time 1 in
+  let remote = time 3 in
+  Alcotest.(check bool)
+    (Printf.sprintf "remote (%d) > local (%d)" remote local)
+    true (remote > local)
+
+let test_link_latency_visible () =
+  (* 2 us at 1.6 GHz = 3200 cycles minimum for any cross-node message. *)
+  let program =
+    [|
+      [ Smpi.Comm (Smpi.Send { dst = 3; bytes = 8; tag = 0 }) ];
+      [];
+      [];
+      [ Smpi.Comm (Smpi.Recv { src = 0; bytes = 8; tag = 0 }) ];
+    |]
+  in
+  let r = Mn.run (cfg ()) program in
+  Alcotest.(check bool) (Printf.sprintf ">= 3200 cycles (%d)" r.Mn.cycles) true (r.Mn.cycles >= 3200)
+
+let test_ep_scales_across_nodes () =
+  let time nodes =
+    let c = { (Mn.default ~nodes Platform.Catalog.banana_pi_sim) with Mn.ranks_per_node = 4 } in
+    (Mn.run_app ~scale:0.5 c Workloads.Npb.ep).Mn.seconds
+  in
+  let t1 = time 1 and t4 = time 4 in
+  let speedup = t1 /. t4 in
+  Alcotest.(check bool) (Printf.sprintf "EP speedup %.2f > 2.5 on 4 nodes" speedup) true
+    (speedup > 2.5)
+
+let test_cg_scales_worse_than_ep () =
+  (* CG's allgather crosses the switch every iteration: efficiency must
+     fall behind EP's. *)
+  let eff app =
+    let t1 =
+      (Mn.run_app ~scale:0.4 { (Mn.default ~nodes:1 Platform.Catalog.banana_pi_sim) with Mn.ranks_per_node = 4 } app).Mn.seconds
+    in
+    let t4 =
+      (Mn.run_app ~scale:0.4 { (Mn.default ~nodes:4 Platform.Catalog.banana_pi_sim) with Mn.ranks_per_node = 4 } app).Mn.seconds
+    in
+    t1 /. t4 /. 4.0
+  in
+  let ep = eff Workloads.Npb.ep and cg = eff Workloads.Npb.cg in
+  Alcotest.(check bool) (Printf.sprintf "CG eff %.2f < EP eff %.2f" cg ep) true (cg < ep)
+
+let test_per_node_results () =
+  let c = cfg () in
+  let program = Array.init 4 (fun _ -> [ Smpi.Compute (alu_stream 1000) ]) in
+  let r = Mn.run c program in
+  Alcotest.(check int) "two nodes" 2 (Array.length r.Mn.per_node);
+  Array.iter
+    (fun (nr : Platform.Soc.result) ->
+      Alcotest.(check int) "each node ran 2 ranks" 2 (Array.length nr.Platform.Soc.per_core))
+    r.Mn.per_node
+
+let test_scaling_table_renders () =
+  let s =
+    Mn.scaling_table ~scale:0.2 ~node_counts:[ 1; 2 ] Platform.Catalog.banana_pi_sim
+      Workloads.Npb.ep
+  in
+  Alcotest.(check bool) "renders" true (String.length s > 100)
+
+let suite =
+  [
+    Alcotest.test_case "topology validation" `Quick test_topology_validation;
+    Alcotest.test_case "pure compute no network" `Quick test_pure_compute_ignores_network;
+    Alcotest.test_case "inter-node accounting" `Quick test_internode_messages_counted;
+    Alcotest.test_case "inter-node slower" `Quick test_internode_slower_than_local;
+    Alcotest.test_case "link latency floor" `Quick test_link_latency_visible;
+    Alcotest.test_case "EP scales across nodes" `Slow test_ep_scales_across_nodes;
+    Alcotest.test_case "CG bends before EP" `Slow test_cg_scales_worse_than_ep;
+    Alcotest.test_case "per-node results" `Quick test_per_node_results;
+    Alcotest.test_case "scaling table" `Slow test_scaling_table_renders;
+  ]
+
+let test_bad_ranks_per_node () =
+  (* more ranks per node than the platform has cores *)
+  let c = { (Mn.default ~nodes:1 Platform.Catalog.banana_pi_sim) with Mn.ranks_per_node = 9 } in
+  match Mn.run c (Array.init 9 (fun _ -> [])) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection"
+
+let suite = suite @ [ Alcotest.test_case "bad ranks_per_node" `Quick test_bad_ranks_per_node ]

@@ -1,0 +1,168 @@
+(* Tests for the program/stream DSL: generators, code layout, address and
+   outcome patterns. *)
+
+let insn ~pc = Isa.Insn.make ~pc Isa.Insn.Int_alu
+
+let test_gen_of_list_roundtrip () =
+  let xs = [ insn ~pc:0; insn ~pc:4; insn ~pc:8 ] in
+  Alcotest.(check int) "length" 3 (Prog.Gen.length (Prog.Gen.of_list xs))
+
+let test_gen_append () =
+  let a = Prog.Gen.of_list [ insn ~pc:0 ] in
+  let b = Prog.Gen.of_list [ insn ~pc:4; insn ~pc:8 ] in
+  Alcotest.(check int) "append length" 3 (Prog.Gen.length (Prog.Gen.append a b))
+
+let test_gen_repeat () =
+  let s = Prog.Gen.of_list [ insn ~pc:0; insn ~pc:4 ] in
+  Alcotest.(check int) "repeat 5 = 10" 10 (Prog.Gen.length (Prog.Gen.repeat 5 s));
+  Alcotest.(check int) "repeat 0 = 0" 0 (Prog.Gen.length (Prog.Gen.repeat 0 s))
+
+let test_gen_iterate_positions () =
+  let s = Prog.Gen.iterate 5 (fun i -> Prog.Gen.of_list [ insn ~pc:(i * 4) ]) in
+  let pcs = List.of_seq (Seq.map (fun (i : Isa.Insn.t) -> i.pc) s) in
+  Alcotest.(check (list int)) "ordered positions" [ 0; 4; 8; 12; 16 ] pcs
+
+let test_gen_retraversable () =
+  let s = Prog.Gen.iterate 10 (fun i -> Prog.Gen.of_list [ insn ~pc:i ]) in
+  Alcotest.(check int) "first" 10 (Prog.Gen.length s);
+  Alcotest.(check int) "second identical" 10 (Prog.Gen.length s)
+
+let test_gen_unfold () =
+  let s =
+    Prog.Gen.unfold 0 (fun n -> if n >= 3 then None else Some ([ insn ~pc:n; insn ~pc:n ], n + 1))
+  in
+  Alcotest.(check int) "bursts of 2" 6 (Prog.Gen.length s)
+
+let test_gen_count_kind () =
+  let xs =
+    [
+      Isa.Insn.make ~pc:0 Isa.Insn.Int_alu;
+      Isa.Insn.make ~pc:4 ~mem:{ addr = 0; size = 8 } Isa.Insn.Load;
+      Isa.Insn.make ~pc:8 ~mem:{ addr = 8; size = 8 } Isa.Insn.Load;
+    ]
+  in
+  Alcotest.(check int) "2 loads" 2
+    (Prog.Gen.count_kind (fun k -> k = Isa.Insn.Load) (Prog.Gen.of_list xs))
+
+let test_code_alignment () =
+  let a = Prog.Code.create_allocator () in
+  let r1 = Prog.Code.alloc a ~slots:3 in
+  let r2 = Prog.Code.alloc a ~slots:5 in
+  Alcotest.(check int) "line aligned" 0 (r1.Prog.Code.base mod 64);
+  Alcotest.(check int) "second aligned" 0 (r2.Prog.Code.base mod 64);
+  Alcotest.(check bool) "disjoint" true
+    (r2.Prog.Code.base >= r1.Prog.Code.base + (r1.Prog.Code.slots * 4))
+
+let test_code_pc () =
+  let a = Prog.Code.create_allocator () in
+  let r = Prog.Code.alloc a ~slots:4 in
+  Alcotest.(check int) "slot 0" r.Prog.Code.base (Prog.Code.pc r 0);
+  Alcotest.(check int) "slot 3" (r.Prog.Code.base + 12) (Prog.Code.pc r 3);
+  Alcotest.(check int) "footprint" 16 (Prog.Code.footprint_bytes r)
+
+let test_mem_strided () =
+  let f = Prog.Mem.strided ~base:1000 ~elem:8 ~stride_elems:2 ~wrap_elems:10 in
+  Alcotest.(check int) "pos 0" 1000 (f 0);
+  Alcotest.(check int) "pos 1" 1016 (f 1);
+  Alcotest.(check int) "wraps" 1000 (f 5)
+
+let test_mem_linear () =
+  let f = Prog.Mem.linear ~base:0 ~elem:4 in
+  Alcotest.(check int) "pos 7" 28 (f 7)
+
+let test_mem_chase_covers_ring () =
+  let rng = Util.Rng.create 1 in
+  let f = Prog.Mem.chase rng ~base:0 ~bytes:640 ~stride:64 in
+  let seen = Hashtbl.create 10 in
+  for p = 0 to 9 do
+    Hashtbl.replace seen (f p) ()
+  done;
+  Alcotest.(check int) "all 10 nodes distinct" 10 (Hashtbl.length seen);
+  (* cycles after [nodes] positions *)
+  Alcotest.(check int) "ring repeats" (f 0) (f 10)
+
+let test_mem_random_in_bounds () =
+  let f = Prog.Mem.random_in ~seed:9 ~base:4096 ~bytes:1024 ~align:8 in
+  for p = 0 to 500 do
+    let a = f p in
+    Alcotest.(check bool) "in window" true (a >= 4096 && a < 4096 + 1024);
+    Alcotest.(check int) "aligned" 0 (a mod 8)
+  done
+
+let test_mem_conflict_same_set () =
+  let sets = 64 and line = 64 in
+  let f = Prog.Mem.conflict ~base:0 ~line ~sets ~distinct:12 in
+  for p = 0 to 30 do
+    Alcotest.(check int) "maps to set 0" 0 (f p / line mod sets)
+  done;
+  let distinct = List.sort_uniq compare (List.init 24 f) in
+  Alcotest.(check int) "12 distinct lines" 12 (List.length distinct)
+
+let test_mem_gather () =
+  let f = Prog.Mem.gather [| 5; 1; 3 |] ~elem:8 ~base:100 in
+  Alcotest.(check int) "pos 0" 140 (f 0);
+  Alcotest.(check int) "pos 1" 108 (f 1);
+  Alcotest.(check int) "wraps mod n" 140 (f 3)
+
+let test_outcome_patterns () =
+  Alcotest.(check bool) "always true" true (Prog.Outcome.always true 123);
+  Alcotest.(check bool) "alternating even" true (Prog.Outcome.alternating 0);
+  Alcotest.(check bool) "alternating odd" false (Prog.Outcome.alternating 1);
+  Alcotest.(check bool) "every 3rd" true (Prog.Outcome.every_nth 3 6);
+  Alcotest.(check bool) "not every 3rd" false (Prog.Outcome.every_nth 3 7)
+
+let test_outcome_biased_rate () =
+  let f = Prog.Outcome.biased ~seed:3 ~p_taken:0.9 in
+  let taken = ref 0 in
+  let n = 10_000 in
+  for p = 0 to n - 1 do
+    if f p then incr taken
+  done;
+  let rate = float_of_int !taken /. float_of_int n in
+  Alcotest.(check bool) "rate ~0.9" true (Float.abs (rate -. 0.9) < 0.02)
+
+let test_outcome_pure () =
+  let f = Prog.Outcome.random ~seed:5 in
+  Alcotest.(check bool) "same position same outcome" true (f 42 = f 42)
+
+let test_outcome_data_dependent () =
+  let f = Prog.Outcome.data_dependent [| 1; 10; 5 |] ~threshold:4 in
+  Alcotest.(check bool) "below" false (f 0);
+  Alcotest.(check bool) "above" true (f 1);
+  Alcotest.(check bool) "above 2" true (f 2)
+
+let prop_chase_is_cycle =
+  QCheck.Test.make ~name:"chase pattern is a cycle over all nodes" ~count:50
+    QCheck.(pair small_int (int_range 2 64))
+    (fun (seed, nodes) ->
+      let rng = Util.Rng.create seed in
+      let f = Prog.Mem.chase rng ~base:0 ~bytes:(nodes * 64) ~stride:64 in
+      let seen = Hashtbl.create nodes in
+      for p = 0 to nodes - 1 do
+        Hashtbl.replace seen (f p) ()
+      done;
+      Hashtbl.length seen = nodes)
+
+let suite =
+  [
+    Alcotest.test_case "gen of_list" `Quick test_gen_of_list_roundtrip;
+    Alcotest.test_case "gen append" `Quick test_gen_append;
+    Alcotest.test_case "gen repeat" `Quick test_gen_repeat;
+    Alcotest.test_case "gen iterate order" `Quick test_gen_iterate_positions;
+    Alcotest.test_case "gen re-traversable" `Quick test_gen_retraversable;
+    Alcotest.test_case "gen unfold" `Quick test_gen_unfold;
+    Alcotest.test_case "gen count_kind" `Quick test_gen_count_kind;
+    Alcotest.test_case "code alignment" `Quick test_code_alignment;
+    Alcotest.test_case "code pcs" `Quick test_code_pc;
+    Alcotest.test_case "mem strided" `Quick test_mem_strided;
+    Alcotest.test_case "mem linear" `Quick test_mem_linear;
+    Alcotest.test_case "mem chase ring" `Quick test_mem_chase_covers_ring;
+    Alcotest.test_case "mem random bounds" `Quick test_mem_random_in_bounds;
+    Alcotest.test_case "mem conflict set" `Quick test_mem_conflict_same_set;
+    Alcotest.test_case "mem gather" `Quick test_mem_gather;
+    Alcotest.test_case "outcome patterns" `Quick test_outcome_patterns;
+    Alcotest.test_case "outcome biased rate" `Quick test_outcome_biased_rate;
+    Alcotest.test_case "outcome purity" `Quick test_outcome_pure;
+    Alcotest.test_case "outcome data dependent" `Quick test_outcome_data_dependent;
+    QCheck_alcotest.to_alcotest prop_chase_is_cycle;
+  ]

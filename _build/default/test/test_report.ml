@@ -1,0 +1,62 @@
+(* Tests for table/chart rendering. *)
+
+let test_table_render () =
+  let t = Report.Table.create ~headers:[ "a"; "bb" ] in
+  Report.Table.add_row t [ "1"; "2" ];
+  Report.Table.add_row t [ "333"; "4" ];
+  let s = Report.Table.render t in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check bool) "4+ lines" true (List.length lines >= 4);
+  (* columns aligned: each data line at least as wide as widest cell *)
+  Alcotest.(check bool) "has rule" true (String.length (List.nth lines 1) >= 3)
+
+let test_table_width_mismatch () =
+  let t = Report.Table.create ~headers:[ "a" ] in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Table.add_row: width mismatch") (fun () ->
+      Report.Table.add_row t [ "1"; "2" ])
+
+let test_csv_quoting () =
+  let t = Report.Table.create ~headers:[ "name"; "v" ] in
+  Report.Table.add_row t [ "has,comma"; "x\"y" ];
+  let csv = Report.Table.to_csv t in
+  Alcotest.(check bool) "comma quoted" true
+    (String.split_on_char '\n' csv |> fun l -> String.length (List.nth l 1) > 0);
+  Alcotest.(check bool) "quote doubled" true
+    (let s = csv in
+     let rec find i = i + 4 <= String.length s && (String.sub s i 4 = "x\"\"y" || find (i + 1)) in
+     find 0)
+
+let test_cell_f () =
+  Alcotest.(check string) "integer" "3" (Report.Table.cell_f 3.0);
+  Alcotest.(check string) "small" "0.3500" (Report.Table.cell_f 0.35);
+  Alcotest.(check string) "mid" "1.250" (Report.Table.cell_f 1.25)
+
+let test_bar_scaling () =
+  Alcotest.(check string) "full" "##########" (Report.Chart.bar ~width:10 ~max_value:1.0 1.0);
+  Alcotest.(check string) "half" "#####" (Report.Chart.bar ~width:10 ~max_value:1.0 0.5);
+  Alcotest.(check string) "zero" "" (Report.Chart.bar ~width:10 ~max_value:1.0 0.0);
+  Alcotest.(check string) "clamped" "##########" (Report.Chart.bar ~width:10 ~max_value:1.0 5.0)
+
+let test_grouped_bars () =
+  let s =
+    Report.Chart.grouped_bars ~width:20 ~reference:1.0 ~title:"t"
+      ~groups:[ ("g1", [ ("a", 0.5); ("b", 1.5) ]); ("g2", [ ("a", 1.0) ]) ]
+      ()
+  in
+  Alcotest.(check bool) "contains labels" true
+    (List.for_all
+       (fun needle ->
+         let nl = String.length needle and hl = String.length s in
+         let rec go i = i + nl <= hl && (String.sub s i nl = needle || go (i + 1)) in
+         go 0)
+       [ "g1/a"; "g1/b"; "g2/a"; "0.500"; "1.500" ])
+
+let suite =
+  [
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table width check" `Quick test_table_width_mismatch;
+    Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
+    Alcotest.test_case "cell formatting" `Quick test_cell_f;
+    Alcotest.test_case "bar scaling" `Quick test_bar_scaling;
+    Alcotest.test_case "grouped bars" `Quick test_grouped_bars;
+  ]

@@ -1,0 +1,188 @@
+(* Tests for the simulated MPI engine: matching, collectives, deadlock
+   detection, chunked interleaving. *)
+
+module I = Isa.Insn
+
+let alu ~pc = I.make ~dst:5 ~src1:5 ~pc I.Int_alu
+
+(* A trivial rank interface backed by a bare counter: each instruction
+   costs one cycle. *)
+let counter_iface () =
+  let t = ref 0 in
+  ( {
+      Smpi.feed = (fun _ -> incr t);
+      now = (fun () -> !t);
+      advance_to = (fun c -> if c > !t then t := c);
+    },
+    t )
+
+let fabric ?(latency = 10) () =
+  let bus_free = ref 0 in
+  {
+    Smpi.latency_cycles = latency;
+    transfer =
+      (fun ~src:_ ~dst:_ ~cycle ~bytes ->
+        let start = max cycle !bus_free in
+        let finish = start + (bytes / 8) in
+        bus_free := finish;
+        finish);
+  }
+
+let compute n = Smpi.Compute (Seq.init n (fun i -> alu ~pc:(i mod 64 * 4)))
+
+let run ?quantum ranks program =
+  let ifaces = Array.init ranks (fun _ -> fst (counter_iface ())) in
+  let stats = Smpi.Engine.run ?quantum (fabric ()) ifaces program in
+  (stats, ifaces)
+
+let test_single_rank_compute () =
+  let stats, ifaces = run 1 [| [ compute 100 ] |] in
+  Alcotest.(check int) "100 cycles" 100 (ifaces.(0).Smpi.now ());
+  Alcotest.(check int) "no messages" 0 stats.Smpi.messages
+
+let test_send_recv () =
+  let program =
+    [|
+      [ Smpi.Comm (Smpi.Send { dst = 1; bytes = 800; tag = 0 }) ];
+      [ Smpi.Comm (Smpi.Recv { src = 0; bytes = 800; tag = 0 }) ];
+    |]
+  in
+  let stats, ifaces = run 2 program in
+  Alcotest.(check int) "1 message" 1 stats.Smpi.messages;
+  Alcotest.(check int) "800 bytes" 800 stats.Smpi.bytes_moved;
+  Alcotest.(check bool) "receiver later than sender" true
+    (ifaces.(1).Smpi.now () >= ifaces.(0).Smpi.now ())
+
+let test_recv_waits_for_compute () =
+  (* Rank 1 receives immediately; rank 0 computes 1000 cycles first.  The
+     receiver's completion must reflect the sender's late send. *)
+  let program =
+    [|
+      [ compute 1000; Smpi.Comm (Smpi.Send { dst = 1; bytes = 8; tag = 0 }) ];
+      [ Smpi.Comm (Smpi.Recv { src = 0; bytes = 8; tag = 0 }) ];
+    |]
+  in
+  let _, ifaces = run 2 program in
+  Alcotest.(check bool) "receiver blocked until sender computed" true (ifaces.(1).Smpi.now () > 1000)
+
+let test_sendrecv_symmetric_no_deadlock () =
+  let xchg peer tag = Smpi.Comm (Smpi.Sendrecv { peer; send_bytes = 80; recv_bytes = 80; tag }) in
+  let program = [| [ compute 10; xchg 1 7 ]; [ compute 20; xchg 0 7 ] |] in
+  let stats, _ = run 2 program in
+  Alcotest.(check int) "two messages" 2 stats.Smpi.messages
+
+let test_tag_matching () =
+  (* Messages with different tags do not cross-match. *)
+  let program =
+    [|
+      [
+        Smpi.Comm (Smpi.Send { dst = 1; bytes = 8; tag = 1 });
+        Smpi.Comm (Smpi.Send { dst = 1; bytes = 16; tag = 2 });
+      ];
+      [
+        Smpi.Comm (Smpi.Recv { src = 0; bytes = 16; tag = 2 });
+        Smpi.Comm (Smpi.Recv { src = 0; bytes = 8; tag = 1 });
+      ];
+    |]
+  in
+  let stats, _ = run 2 program in
+  Alcotest.(check int) "both delivered" 2 stats.Smpi.messages
+
+let test_barrier_synchronizes () =
+  let program = [| [ compute 1000; Smpi.Comm Smpi.Barrier ]; [ Smpi.Comm Smpi.Barrier ] |] in
+  let _, ifaces = run 2 program in
+  Alcotest.(check bool) "fast rank waited" true (ifaces.(1).Smpi.now () >= 1000);
+  Alcotest.(check int) "both at same time" (ifaces.(0).Smpi.now ()) (ifaces.(1).Smpi.now ())
+
+let test_allreduce_all_finish_together () =
+  let program =
+    Array.init 4 (fun r -> [ compute (100 * (r + 1)); Smpi.Comm (Smpi.Allreduce { bytes = 64 }) ])
+  in
+  let stats, ifaces = run 4 program in
+  let t0 = ifaces.(0).Smpi.now () in
+  Array.iter (fun i -> Alcotest.(check int) "synchronized" t0 (i.Smpi.now ())) ifaces;
+  Alcotest.(check int) "one collective" 1 stats.Smpi.collectives;
+  Alcotest.(check bool) "after slowest" true (t0 >= 400)
+
+let test_collective_mismatch_detected () =
+  let program =
+    [| [ Smpi.Comm Smpi.Barrier ]; [ Smpi.Comm (Smpi.Allreduce { bytes = 8 }) ] |]
+  in
+  match run 2 program with
+  | exception Smpi.Deadlock _ -> ()
+  | _ -> Alcotest.fail "expected Deadlock on mismatched collectives"
+
+let test_deadlock_detected () =
+  (* Both ranks recv first: classic deadlock. *)
+  let program =
+    [|
+      [ Smpi.Comm (Smpi.Recv { src = 1; bytes = 8; tag = 0 }) ];
+      [ Smpi.Comm (Smpi.Recv { src = 0; bytes = 8; tag = 0 }) ];
+    |]
+  in
+  match run 2 program with
+  | exception Smpi.Deadlock _ -> ()
+  | _ -> Alcotest.fail "expected Deadlock"
+
+let test_rank_count_mismatch () =
+  Alcotest.check_raises "mismatch" (Invalid_argument "Engine.run: rank count mismatch") (fun () ->
+      let ifaces = Array.init 2 (fun _ -> fst (counter_iface ())) in
+      ignore (Smpi.Engine.run (fabric ()) ifaces [| [] |]))
+
+let test_chunked_interleaving () =
+  (* With a tiny quantum the engine must still complete correctly. *)
+  let program = [| [ compute 5000; Smpi.Comm Smpi.Barrier ]; [ compute 5000; Smpi.Comm Smpi.Barrier ] |] in
+  let _, ifaces = run ~quantum:7 2 program in
+  Alcotest.(check int) "rank0 done" (ifaces.(0).Smpi.now ()) (ifaces.(1).Smpi.now ());
+  Alcotest.(check bool) "computed everything" true (ifaces.(0).Smpi.now () >= 5000)
+
+let test_alltoall_scales_with_ranks () =
+  let mk ranks =
+    let program = Array.init ranks (fun _ -> [ Smpi.Comm (Smpi.Alltoall { bytes_per_rank = 512 }) ]) in
+    let _, ifaces = run ranks program in
+    ifaces.(0).Smpi.now ()
+  in
+  Alcotest.(check bool) "4 ranks cost more than 2" true (mk 4 > mk 2)
+
+let test_bcast_reduce_allgather_complete () =
+  let ops =
+    [ Smpi.Bcast { root = 0; bytes = 256 }; Smpi.Reduce { root = 0; bytes = 256 }; Smpi.Allgather { bytes = 128 } ]
+  in
+  let program = Array.init 3 (fun _ -> List.map (fun o -> Smpi.Comm o) ops) in
+  let stats, _ = run 3 program in
+  Alcotest.(check int) "three collectives" 3 stats.Smpi.collectives
+
+let prop_more_bytes_not_faster =
+  QCheck.Test.make ~name:"bigger messages never complete earlier" ~count:50
+    QCheck.(pair (int_range 8 4096) (int_range 8 4096))
+    (fun (b1, b2) ->
+      let time bytes =
+        let program =
+          [|
+            [ Smpi.Comm (Smpi.Send { dst = 1; bytes; tag = 0 }) ];
+            [ Smpi.Comm (Smpi.Recv { src = 0; bytes; tag = 0 }) ];
+          |]
+        in
+        let _, ifaces = run 2 program in
+        ifaces.(1).Smpi.now ()
+      in
+      let lo = min b1 b2 and hi = max b1 b2 in
+      time lo <= time hi)
+
+let suite =
+  [
+    Alcotest.test_case "single rank compute" `Quick test_single_rank_compute;
+    Alcotest.test_case "send/recv" `Quick test_send_recv;
+    Alcotest.test_case "recv waits for sender" `Quick test_recv_waits_for_compute;
+    Alcotest.test_case "sendrecv no deadlock" `Quick test_sendrecv_symmetric_no_deadlock;
+    Alcotest.test_case "tag matching" `Quick test_tag_matching;
+    Alcotest.test_case "barrier synchronizes" `Quick test_barrier_synchronizes;
+    Alcotest.test_case "allreduce synchronizes" `Quick test_allreduce_all_finish_together;
+    Alcotest.test_case "collective mismatch" `Quick test_collective_mismatch_detected;
+    Alcotest.test_case "deadlock detection" `Quick test_deadlock_detected;
+    Alcotest.test_case "rank count mismatch" `Quick test_rank_count_mismatch;
+    Alcotest.test_case "chunked interleaving" `Quick test_chunked_interleaving;
+    Alcotest.test_case "alltoall scales" `Quick test_alltoall_scales_with_ranks;
+    Alcotest.test_case "bcast/reduce/allgather" `Quick test_bcast_reduce_allgather_complete;
+    QCheck_alcotest.to_alcotest prop_more_bytes_not_faster;
+  ]

@@ -1,0 +1,315 @@
+(* Tests for the workload suite: MicroBench kernel properties, NPB / UME /
+   LAMMPS structure, and the codegen knob. *)
+
+module W = Workloads.Workload
+module Mb = Workloads.Microbench
+module I = Isa.Insn
+
+let stream_of name = (Mb.find name).W.stream ~scale:1.0
+
+let count p s = Prog.Gen.count_kind p s
+
+let test_suite_inventory () =
+  Alcotest.(check int) "40 kernels" 40 (List.length Mb.all);
+  Alcotest.(check int) "39 evaluated" 39 (List.length Mb.evaluated);
+  Alcotest.(check bool) "CRm excluded" true (Mb.find "CRm").W.excluded;
+  let names = List.map (fun (k : W.kernel) -> k.name) Mb.all in
+  Alcotest.(check int) "unique names" 40 (List.length (List.sort_uniq compare names))
+
+let test_categories_populated () =
+  List.iter
+    (fun cat ->
+      Alcotest.(check bool)
+        (W.category_name cat ^ " non-empty")
+        true
+        (List.length (Mb.by_category cat) > 0))
+    W.all_categories;
+  Alcotest.(check int) "2 memory kernels" 2 (List.length (Mb.by_category W.Memory));
+  Alcotest.(check int) "12 control flow" 12 (List.length (Mb.by_category W.Control_flow))
+
+let test_streams_nonempty_and_deterministic () =
+  List.iter
+    (fun (k : W.kernel) ->
+      let n1 = Prog.Gen.length (k.W.stream ~scale:0.02) in
+      let n2 = Prog.Gen.length (k.W.stream ~scale:0.02) in
+      Alcotest.(check bool) (k.W.name ^ " nonempty") true (n1 > 0);
+      Alcotest.(check int) (k.W.name ^ " deterministic") n1 n2)
+    Mb.all
+
+let test_scale_grows_streams () =
+  let k = Mb.find "Cca" in
+  let small = Prog.Gen.length (k.W.stream ~scale:0.1) in
+  let big = Prog.Gen.length (k.W.stream ~scale:0.5) in
+  Alcotest.(check bool) "scale grows" true (big > 2 * small)
+
+let test_kernel_signatures () =
+  (* Each kernel must actually exercise its advertised feature. *)
+  let has_kind name p =
+    Alcotest.(check bool) (name ^ " contains expected ops") true (count p (stream_of name) > 0)
+  in
+  has_kind "MM" (fun k -> k = I.Load);
+  has_kind "MM_st" (fun k -> k = I.Store);
+  has_kind "DPT" (fun k -> k = I.Fp_div);
+  has_kind "DPcvt" (fun k -> k = I.Fp_cvt);
+  has_kind "EM1" (fun k -> k = I.Int_mul);
+  has_kind "EF" (fun k -> k = I.Fp_add);
+  has_kind "CRd" (fun k -> k = I.Call);
+  has_kind "CRd" (fun k -> k = I.Ret);
+  has_kind "CS1" (fun k -> k = I.Jump);
+  has_kind "STc" (fun k -> k = I.Store)
+
+let test_store_kernels_store_heavy () =
+  let stores name = count (fun k -> k = I.Store) (stream_of name) in
+  let loads name = count (fun k -> k = I.Load) (stream_of name) in
+  Alcotest.(check bool) "ML2_BW_st mostly stores" true (stores "ML2_BW_st" > loads "ML2_BW_st");
+  Alcotest.(check bool) "ML2_BW_ld mostly loads" true (loads "ML2_BW_ld" > stores "ML2_BW_ld")
+
+let test_chase_kernels_serial_dependence () =
+  (* MD/MM loads must form a dependence chain through rptr (r3). *)
+  let check_chain name =
+    let s = stream_of name in
+    let chained =
+      Seq.fold_left
+        (fun acc (i : I.t) -> if i.kind = I.Load && i.dst = 3 && i.src1 = 3 then acc + 1 else acc)
+        0 s
+    in
+    Alcotest.(check bool) (name ^ " has dependent loads") true (chained > 100)
+  in
+  check_chain "MD";
+  check_chain "ML2";
+  check_chain "MM"
+
+let test_mip_code_footprint () =
+  (* MIP must sweep a code footprint larger than both cluster L2s. *)
+  let pcs = Hashtbl.create 1024 in
+  Seq.iter (fun (i : I.t) -> Hashtbl.replace pcs (i.pc lsr 6) ()) (stream_of "MIP");
+  let lines = Hashtbl.length pcs in
+  Alcotest.(check bool)
+    (Printf.sprintf "footprint %d KiB > 1 MiB" (lines * 64 / 1024))
+    true
+    (lines * 64 > 1024 * 1024)
+
+let test_conflict_kernel_addresses () =
+  (* MC addresses must collide in a 64-set cache. *)
+  let sets = Hashtbl.create 64 in
+  Seq.iter
+    (fun (i : I.t) ->
+      match i.mem with Some m -> Hashtbl.replace sets (m.addr / 64 mod 64) () | None -> ())
+    (stream_of "MC");
+  Alcotest.(check bool) "few sets touched" true (Hashtbl.length sets <= 8)
+
+let test_branch_mix () =
+  (* Control-flow kernels are branch-dense; execution kernels are not. *)
+  let ratio name =
+    let s = stream_of name in
+    let total = Prog.Gen.length s in
+    float_of_int (count I.is_ctrl s) /. float_of_int total
+  in
+  Alcotest.(check bool) "Cca branch-dense" true (ratio "Cca" > 0.2);
+  Alcotest.(check bool) "EI not branch-dense" true (ratio "EI" < 0.15)
+
+(* ---- NPB ---- *)
+
+let test_npb_inventory () =
+  Alcotest.(check int) "4 apps" 4 (List.length Workloads.Npb.all);
+  Alcotest.(check bool) "find cg" true (Workloads.Npb.find "cg" == Workloads.Npb.cg)
+
+let segments_insns prog rank =
+  List.fold_left
+    (fun acc -> function Smpi.Compute s -> acc + Prog.Gen.length s | Smpi.Comm _ -> acc)
+    0 prog.(rank)
+
+let segments_comms prog rank =
+  List.fold_left (fun acc -> function Smpi.Comm _ -> acc + 1 | Smpi.Compute _ -> acc) 0 prog.(rank)
+
+let test_npb_strong_scaling_partition () =
+  (* Strong scaling: total compute stays roughly constant as ranks grow. *)
+  List.iter
+    (fun (app : W.app) ->
+      let p1 = app.W.make ~codegen:Workloads.Codegen.default ~ranks:1 ~scale:0.3 in
+      let p4 = app.W.make ~codegen:Workloads.Codegen.default ~ranks:4 ~scale:0.3 in
+      let t1 = segments_insns p1 0 in
+      let t4 = List.init 4 (fun r -> segments_insns p4 r) |> List.fold_left ( + ) 0 in
+      let ratio = float_of_int t4 /. float_of_int t1 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s work conserved (%.2f)" app.W.app_name ratio)
+        true
+        (ratio > 0.8 && ratio < 1.6))
+    Workloads.Npb.all
+
+let test_npb_communication_present () =
+  List.iter
+    (fun (app : W.app) ->
+      let p = app.W.make ~codegen:Workloads.Codegen.default ~ranks:4 ~scale:0.2 in
+      Alcotest.(check bool) (app.W.app_name ^ " communicates") true (segments_comms p 0 > 0))
+    Workloads.Npb.all
+
+let test_ep_accept_rate () =
+  (* The Marsaglia accept branch should be ~78.5% not-taken-to-accept. *)
+  let p = Workloads.Npb.ep_program ~ranks:1 ~scale:0.5 () in
+  let branches = ref 0 and fp_div = ref 0 in
+  List.iter
+    (function
+      | Smpi.Compute s ->
+        Seq.iter
+          (fun (i : I.t) ->
+            (* The accept branch tests register 23; the loop branch tests
+               the loop counter — count only the former. *)
+            if i.kind = I.Branch && i.src1 = 23 then incr branches;
+            if i.kind = I.Fp_div then incr fp_div)
+          s
+      | Smpi.Comm _ -> ())
+    p.(0);
+  let accepted = !fp_div in
+  let rate = float_of_int accepted /. float_of_int (max 1 !branches) in
+  Alcotest.(check bool) (Printf.sprintf "accept rate ~0.785 (%.3f)" rate) true
+    (rate > 0.7 && rate < 0.85)
+
+let test_codegen_overhead_increases_ops () =
+  let base = Workloads.Npb.cg_program ~codegen:Workloads.Codegen.gcc_13_2 ~ranks:1 ~scale:0.3 () in
+  let old_ = Workloads.Npb.cg_program ~codegen:Workloads.Codegen.gcc_9_4 ~ranks:1 ~scale:0.3 () in
+  Alcotest.(check bool) "gcc-9.4 emits more ops" true
+    (segments_insns old_ 0 > segments_insns base 0)
+
+(* ---- UME ---- *)
+
+let test_ume_mesh_invariants () =
+  let m = Workloads.Ume.build_mesh ~n:6 () in
+  Alcotest.(check int) "zones" 216 m.Workloads.Ume.zones;
+  Alcotest.(check int) "corners = 8 zones" (216 * 8) m.Workloads.Ume.corners;
+  Alcotest.(check int) "points" (7 * 7 * 7) m.Workloads.Ume.points;
+  Alcotest.(check int) "faces = 3 n^2 (n+1)" (3 * 36 * 7) m.Workloads.Ume.faces;
+  (* every corner maps to a valid point *)
+  Array.iter
+    (fun p -> Alcotest.(check bool) "corner->point valid" true (p >= 0 && p < m.Workloads.Ume.points))
+    m.Workloads.Ume.corner_to_point;
+  (* each zone's 8 corners map to 8 distinct points *)
+  for z = 0 to m.Workloads.Ume.zones - 1 do
+    let pts = List.init 8 (fun c -> m.Workloads.Ume.corner_to_point.((z * 8) + c)) in
+    Alcotest.(check int) "8 distinct corner points" 8 (List.length (List.sort_uniq compare pts))
+  done
+
+let test_ume_load_store_heavy () =
+  (* UME's signature: high load/FP ratio (indirection-heavy). *)
+  let p = Workloads.Ume.program ~ranks:1 ~scale:1.0 () in
+  let loads = ref 0 and fps = ref 0 in
+  List.iter
+    (function
+      | Smpi.Compute s ->
+        Seq.iter
+          (fun (i : I.t) ->
+            if i.kind = I.Load then incr loads;
+            if I.is_fp i.kind then incr fps)
+          s
+      | Smpi.Comm _ -> ())
+    p.(0);
+  Alcotest.(check bool) "more loads than FP" true (!loads > !fps)
+
+let test_ume_halo_only_parallel () =
+  let p1 = Workloads.Ume.program ~ranks:1 ~scale:1.0 () in
+  let p2 = Workloads.Ume.program ~ranks:2 ~scale:1.0 () in
+  Alcotest.(check int) "3 collectives at 1 rank" 3 (segments_comms p1 0);
+  Alcotest.(check bool) "halos appear at 2 ranks" true (segments_comms p2 0 > 3)
+
+(* ---- LAMMPS ---- *)
+
+let test_lammps_energy_sane () =
+  let t = Workloads.Lammps.simulate ~style:Workloads.Lammps.Lj ~atoms:216 ~steps:10 () in
+  Alcotest.(check int) "recorded steps" 11 (Array.length t.Workloads.Lammps.potential_energy);
+  (* reduced-units LJ fluid: total energy per atom should stay bounded *)
+  let e0 = t.Workloads.Lammps.potential_energy.(0) +. t.Workloads.Lammps.kinetic_energy.(0) in
+  let e1 =
+    t.Workloads.Lammps.potential_energy.(10) +. t.Workloads.Lammps.kinetic_energy.(10)
+  in
+  let drift = Float.abs (e1 -. e0) /. Float.abs e0 in
+  Alcotest.(check bool) (Printf.sprintf "energy drift bounded (%.3f)" drift) true (drift < 0.5)
+
+let test_lammps_pairs_exist () =
+  let t = Workloads.Lammps.simulate ~style:Workloads.Lammps.Lj ~atoms:216 ~steps:4 () in
+  Array.iter
+    (fun c -> Alcotest.(check bool) "pairs each step" true (c > 100))
+    t.Workloads.Lammps.pair_count
+
+let test_lammps_chain_has_fp_long () =
+  (* FENE bond energy includes a log per bond: Chain emits Fp_long. *)
+  let p = Workloads.Lammps.program ~style:Workloads.Lammps.Chain ~ranks:1 ~scale:0.5 () in
+  let fp_long = ref 0 in
+  List.iter
+    (function
+      | Smpi.Compute s -> Seq.iter (fun (i : I.t) -> if i.kind = I.Fp_long then incr fp_long) s
+      | Smpi.Comm _ -> ())
+    p.(0);
+  Alcotest.(check bool) "chain has logs" true (!fp_long > 0)
+
+let test_lammps_parallel_partitions_work () =
+  let total ranks =
+    let p = Workloads.Lammps.program ~style:Workloads.Lammps.Lj ~ranks ~scale:0.5 () in
+    List.init ranks (fun r -> segments_insns p r) |> List.fold_left ( + ) 0
+  in
+  let t1 = total 1 and t4 = total 4 in
+  let ratio = float_of_int t4 /. float_of_int t1 in
+  Alcotest.(check bool) (Printf.sprintf "work conserved (%.2f)" ratio) true (ratio > 0.8 && ratio < 1.4)
+
+let suite =
+  [
+    Alcotest.test_case "suite inventory" `Quick test_suite_inventory;
+    Alcotest.test_case "categories populated" `Quick test_categories_populated;
+    Alcotest.test_case "streams nonempty+deterministic" `Slow test_streams_nonempty_and_deterministic;
+    Alcotest.test_case "scale grows streams" `Quick test_scale_grows_streams;
+    Alcotest.test_case "kernel signatures" `Quick test_kernel_signatures;
+    Alcotest.test_case "store/load balance" `Quick test_store_kernels_store_heavy;
+    Alcotest.test_case "chase dependence chains" `Quick test_chase_kernels_serial_dependence;
+    Alcotest.test_case "MIP code footprint" `Quick test_mip_code_footprint;
+    Alcotest.test_case "MC conflict addresses" `Quick test_conflict_kernel_addresses;
+    Alcotest.test_case "branch mix by category" `Quick test_branch_mix;
+    Alcotest.test_case "npb inventory" `Quick test_npb_inventory;
+    Alcotest.test_case "npb strong scaling partition" `Quick test_npb_strong_scaling_partition;
+    Alcotest.test_case "npb communicates" `Quick test_npb_communication_present;
+    Alcotest.test_case "EP accept rate" `Quick test_ep_accept_rate;
+    Alcotest.test_case "codegen overhead" `Quick test_codegen_overhead_increases_ops;
+    Alcotest.test_case "ume mesh invariants" `Quick test_ume_mesh_invariants;
+    Alcotest.test_case "ume load/store heavy" `Quick test_ume_load_store_heavy;
+    Alcotest.test_case "ume halo topology" `Quick test_ume_halo_only_parallel;
+    Alcotest.test_case "lammps energy sane" `Quick test_lammps_energy_sane;
+    Alcotest.test_case "lammps pairs exist" `Quick test_lammps_pairs_exist;
+    Alcotest.test_case "lammps chain fp_long" `Quick test_lammps_chain_has_fp_long;
+    Alcotest.test_case "lammps work partition" `Quick test_lammps_parallel_partitions_work;
+  ]
+
+(* --- codegen knob --- *)
+
+let test_codegen_vector_ops () =
+  Alcotest.(check int) "scalar identity" 8 (Workloads.Codegen.vector_ops Workloads.Codegen.gcc_9_4 8);
+  Alcotest.(check int) "4-wide quarters" 2 (Workloads.Codegen.vector_ops Workloads.Codegen.gcc_13_2 8);
+  Alcotest.(check int) "ceiling" 3 (Workloads.Codegen.vector_ops Workloads.Codegen.gcc_13_2 9);
+  Alcotest.(check int) "at least one" 1 (Workloads.Codegen.vector_ops Workloads.Codegen.gcc_13_2 1)
+
+let test_codegen_dither_average () =
+  (* ops_at must average to base * overhead over many iterations. *)
+  let total =
+    List.fold_left ( + ) 0
+      (List.init 1000 (fun i -> Workloads.Codegen.ops_at Workloads.Codegen.gcc_9_4 ~index:i ~base:2))
+  in
+  let avg = float_of_int total /. 1000.0 in
+  Alcotest.(check bool) (Printf.sprintf "avg %.3f ~ 2.16" avg) true (Float.abs (avg -. 2.16) < 0.01)
+
+let test_vectorized_lammps_fewer_ops () =
+  let count codegen =
+    let p = Workloads.Lammps.program ~codegen ~style:Workloads.Lammps.Lj ~ranks:1 ~scale:0.3 () in
+    segments_insns p 0
+  in
+  let scalar = count Workloads.Codegen.gcc_9_4 in
+  let vector = count Workloads.Codegen.gcc_13_2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "vectorized (%d) << scalar (%d)" vector scalar)
+    true
+    (float_of_int vector < 0.5 *. float_of_int scalar)
+
+let codegen_suite =
+  [
+    Alcotest.test_case "vector_ops" `Quick test_codegen_vector_ops;
+    Alcotest.test_case "dithered overhead average" `Quick test_codegen_dither_average;
+    Alcotest.test_case "vectorized lammps smaller" `Quick test_vectorized_lammps_fewer_ops;
+  ]
+
+let suite = suite @ codegen_suite

@@ -80,7 +80,7 @@ let print_result (r : Platform.Soc.result) =
     Format.printf "MPI messages  : %d (%d bytes), %d collectives@." c.Smpi.messages c.Smpi.bytes_moved
       c.Smpi.collectives
 
-let run_workload verbose name platform ranks scale =
+let run_workload verbose name platform ranks scale telemetry_dir =
   setup_logs verbose;
   let config =
     try Platform.Catalog.find platform
@@ -88,10 +88,20 @@ let run_workload verbose name platform ranks scale =
       Format.eprintf "unknown platform %s; try `simbridge platforms`@." platform;
       exit 1
   in
+  (* Telemetry sidecars: a live registry when --telemetry DIR was given,
+     the zero-cost no-op sink otherwise. *)
+  let reg =
+    match telemetry_dir with
+    | None -> Telemetry.Registry.disabled
+    | Some "" ->
+      Format.eprintf "--telemetry requires a non-empty directory@.";
+      exit 1
+    | Some _ -> Telemetry.Registry.create ()
+  in
   let kernel = try Some (Workloads.Microbench.find name) with Not_found -> None in
-  match kernel with
+  (match kernel with
   | Some k ->
-    let r = Simbridge.Runner.run_kernel ~scale config k in
+    let r = Simbridge.Runner.run_kernel ~scale ~telemetry:reg config k in
     print_result r
   | None ->
     let apps =
@@ -99,11 +109,19 @@ let run_workload verbose name platform ranks scale =
     in
     (match List.find_opt (fun (a : Workloads.Workload.app) -> a.app_name = name) apps with
     | Some app ->
-      let r = Simbridge.Runner.run_app ~scale ~ranks config app in
+      let r = Simbridge.Runner.run_app ~scale ~telemetry:reg ~ranks config app in
       print_result r
     | None ->
       Format.eprintf "unknown workload %s (microbench name, cg/ep/is/mg, ume, lammps-lj, lammps-chain)@." name;
-      exit 1)
+      exit 1));
+  match telemetry_dir with
+  | None -> ()
+  | Some dir ->
+    (try Telemetry.Export.write reg ~dir
+     with Sys_error msg ->
+       Format.eprintf "cannot write telemetry to %s: %s@." dir msg;
+       exit 1);
+    Format.printf "telemetry     : %s/telemetry.txt, telemetry.csv, trace.json@." dir
 
 let run_compare name ranks scale =
   (* Side-by-side sim-vs-silicon comparison for both platform pairs. *)
@@ -234,6 +252,15 @@ let csv_cmd =
   Cmd.v (Cmd.info "csv" ~doc:"Emit a figure's data as CSV")
     Term.(const csv_figure $ id $ scale_arg)
 
+let telemetry_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry" ]
+        ~doc:
+          "Write run telemetry sidecars (plain-text report, CSV, Chrome trace JSON) into $(docv)."
+        ~docv:"DIR")
+
 let workload_cmd =
   let wname = Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD") in
   let platform =
@@ -241,7 +268,7 @@ let workload_cmd =
   in
   let ranks = Arg.(value & opt int 1 & info [ "ranks"; "n" ] ~doc:"MPI ranks (apps only).") in
   Cmd.v (Cmd.info "workload" ~doc:"Run one workload on one platform")
-    Term.(const run_workload $ verbose_arg $ wname $ platform $ ranks $ scale_arg)
+    Term.(const run_workload $ verbose_arg $ wname $ platform $ ranks $ scale_arg $ telemetry_arg)
 
 let tune_cmd =
   let target = Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET") in

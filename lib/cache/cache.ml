@@ -29,6 +29,7 @@ type stats = {
   accesses : int;
   hits : int;
   misses : int;
+  evictions : int;
   writebacks : int;
   bank_conflicts : int;
   mshr_stalls : int;
@@ -52,6 +53,7 @@ type t = {
   mutable s_accesses : int;
   mutable s_hits : int;
   mutable s_misses : int;
+  mutable s_evictions : int;
   mutable s_writebacks : int;
   mutable s_bank_conflicts : int;
   mutable s_mshr_stalls : int;
@@ -74,6 +76,7 @@ let create cfg =
     s_accesses = 0;
     s_hits = 0;
     s_misses = 0;
+    s_evictions = 0;
     s_writebacks = 0;
     s_bank_conflicts = 0;
     s_mshr_stalls = 0;
@@ -133,6 +136,7 @@ let grab_mshr t cycle =
 (* Install [line] (absent) by evicting a victim; returns the slot. *)
 let install t set line ~fill ~dirty ~prefetched ~next =
   let victim = victim_way t set in
+  if t.tags.(victim) <> -1 then t.s_evictions <- t.s_evictions + 1;
   if t.tags.(victim) <> -1 && t.dirty.(victim) && t.cfg.write_back then begin
     t.s_writebacks <- t.s_writebacks + 1;
     (* The write-back consumes downstream bandwidth but is off the demand
@@ -237,6 +241,7 @@ let stats t =
     accesses = t.s_accesses;
     hits = t.s_hits;
     misses = t.s_misses;
+    evictions = t.s_evictions;
     writebacks = t.s_writebacks;
     bank_conflicts = t.s_bank_conflicts;
     mshr_stalls = t.s_mshr_stalls;
@@ -247,6 +252,7 @@ let reset_stats t =
   t.s_accesses <- 0;
   t.s_hits <- 0;
   t.s_misses <- 0;
+  t.s_evictions <- 0;
   t.s_writebacks <- 0;
   t.s_bank_conflicts <- 0;
   t.s_mshr_stalls <- 0;

@@ -53,6 +53,7 @@ type stats = {
   accesses : int;
   hits : int;
   misses : int;
+  evictions : int;  (** valid lines displaced by a fill (demand or prefetch) *)
   writebacks : int;
   bank_conflicts : int;
   mshr_stalls : int;

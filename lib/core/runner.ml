@@ -2,7 +2,26 @@ let log = Logs.Src.create "simbridge.runner" ~doc:"workload runs"
 
 module Log = (val Logs.src_log log : Logs.LOG)
 
-let run_kernel ?(scale = 1.0) config (kernel : Workloads.Workload.kernel) =
+module Registry = Telemetry.Registry
+
+(* Publish the measured region's counters: [before] is the Soc.counters
+   snapshot taken after any setup stream, [after] the one at the end.
+   Counters are monotone, so the difference is exactly the measured
+   region — matching the differenced Soc.result the runner returns. *)
+let publish_counters reg ~before ~after =
+  if Registry.enabled reg then
+    Registry.set_all reg (List.map2 (fun (n, a) (_, b) -> (n, a - b)) after before)
+
+let phase_args (r : Platform.Soc.result) =
+  [
+    ("cycles", Telemetry.Trace.Int r.Platform.Soc.cycles);
+    ("instructions", Telemetry.Trace.Int r.Platform.Soc.instructions);
+    ("l1d_misses", Telemetry.Trace.Int r.Platform.Soc.l1d_misses);
+    ("dram_requests", Telemetry.Trace.Int r.Platform.Soc.dram_requests);
+  ]
+
+let run_kernel ?(scale = 1.0) ?(telemetry = Registry.disabled) config
+    (kernel : Workloads.Workload.kernel) =
   Log.info (fun m ->
       m "kernel %s on %s (scale %.2f)" kernel.Workloads.Workload.name config.Platform.Config.name
         scale);
@@ -13,36 +32,52 @@ let run_kernel ?(scale = 1.0) config (kernel : Workloads.Workload.kernel) =
   let before =
     match kernel.Workloads.Workload.setup with
     | None -> None
-    | Some setup -> Some (Platform.Soc.run_stream soc (setup ~scale))
+    | Some setup ->
+      let ph = Registry.phase_start telemetry ~ts:0 "setup" in
+      let b = Platform.Soc.run_stream soc (setup ~scale) in
+      Registry.phase_end telemetry ph ~ts:b.Platform.Soc.cycles ~args:(phase_args b) ();
+      Some b
   in
+  let snapshot = if Registry.enabled telemetry then Platform.Soc.counters soc else [] in
+  let ts0 = match before with None -> 0 | Some b -> b.Platform.Soc.cycles in
+  let ph = Registry.phase_start telemetry ~ts:ts0 "measure" in
   let r = Platform.Soc.run_stream soc (kernel.Workloads.Workload.stream ~scale) in
-  match before with
-  | None -> r
-  | Some b ->
-    (* Report only the measured region: every cumulative counter is
-       differenced against the post-setup snapshot. *)
-    let freq = Platform.Config.freq_hz config in
-    let cycles = r.Platform.Soc.cycles - b.Platform.Soc.cycles in
-    {
-      r with
-      Platform.Soc.cycles;
-      seconds = Util.Units.cycles_to_seconds ~freq_hz:freq cycles;
-      instructions = r.Platform.Soc.instructions - b.Platform.Soc.instructions;
-      l1d_misses = r.Platform.Soc.l1d_misses - b.Platform.Soc.l1d_misses;
-      l1d_accesses = r.Platform.Soc.l1d_accesses - b.Platform.Soc.l1d_accesses;
-      l2_misses = r.Platform.Soc.l2_misses - b.Platform.Soc.l2_misses;
-      l2_accesses = r.Platform.Soc.l2_accesses - b.Platform.Soc.l2_accesses;
-      dram_requests = r.Platform.Soc.dram_requests - b.Platform.Soc.dram_requests;
-      tlb_walks = r.Platform.Soc.tlb_walks - b.Platform.Soc.tlb_walks;
-    }
+  Registry.phase_end telemetry ph ~ts:r.Platform.Soc.cycles ~args:(phase_args r) ();
+  let result =
+    match before with
+    | None -> r
+    | Some b ->
+      (* Report only the measured region: every cumulative counter is
+         differenced against the post-setup snapshot. *)
+      let freq = Platform.Config.freq_hz config in
+      let cycles = r.Platform.Soc.cycles - b.Platform.Soc.cycles in
+      {
+        r with
+        Platform.Soc.cycles;
+        seconds = Util.Units.cycles_to_seconds ~freq_hz:freq cycles;
+        instructions = r.Platform.Soc.instructions - b.Platform.Soc.instructions;
+        l1d_misses = r.Platform.Soc.l1d_misses - b.Platform.Soc.l1d_misses;
+        l1d_accesses = r.Platform.Soc.l1d_accesses - b.Platform.Soc.l1d_accesses;
+        l2_misses = r.Platform.Soc.l2_misses - b.Platform.Soc.l2_misses;
+        l2_accesses = r.Platform.Soc.l2_accesses - b.Platform.Soc.l2_accesses;
+        dram_requests = r.Platform.Soc.dram_requests - b.Platform.Soc.dram_requests;
+        tlb_walks = r.Platform.Soc.tlb_walks - b.Platform.Soc.tlb_walks;
+      }
+  in
+  publish_counters telemetry ~before:snapshot ~after:(if Registry.enabled telemetry then Platform.Soc.counters soc else []);
+  result
 
-let run_app ?(scale = 1.0) ?(codegen = Workloads.Codegen.default) ~ranks config
-    (app : Workloads.Workload.app) =
+let run_app ?(scale = 1.0) ?(codegen = Workloads.Codegen.default) ?(telemetry = Registry.disabled)
+    ~ranks config (app : Workloads.Workload.app) =
   Log.info (fun m ->
       m "app %s x%d on %s (scale %.2f, %s)" app.Workloads.Workload.app_name ranks
         config.Platform.Config.name scale codegen.Workloads.Codegen.name);
   let soc = Platform.Soc.create config in
-  Platform.Soc.run_ranks soc (app.Workloads.Workload.make ~codegen ~ranks ~scale)
+  let ph = Registry.phase_start telemetry ~ts:0 "run" in
+  let r = Platform.Soc.run_ranks ~telemetry soc (app.Workloads.Workload.make ~codegen ~ranks ~scale) in
+  Registry.phase_end telemetry ph ~ts:r.Platform.Soc.cycles ~args:(phase_args r) ();
+  if Registry.enabled telemetry then Registry.set_all telemetry (Platform.Soc.counters soc);
+  r
 
 let relative_speedup ~(sim : Platform.Soc.result) ~(hw : Platform.Soc.result) =
   if sim.Platform.Soc.seconds <= 0.0 then invalid_arg "relative_speedup: empty simulation run";

@@ -10,18 +10,31 @@
     faster than the hardware (the paper's convention, §5). *)
 
 val run_kernel :
-  ?scale:float -> Platform.Config.t -> Workloads.Workload.kernel -> Platform.Soc.result
-(** Run a microbenchmark on core 0 of a fresh SoC. *)
+  ?scale:float ->
+  ?telemetry:Telemetry.Registry.t ->
+  Platform.Config.t ->
+  Workloads.Workload.kernel ->
+  Platform.Soc.result
+(** Run a microbenchmark on core 0 of a fresh SoC.
+
+    With [telemetry] (default {!Telemetry.Registry.disabled}), records
+    "setup"/"measure" phases (target span + host wall time) and publishes
+    the full {!Platform.Soc.counters} snapshot *of the measured region
+    only* — counters are differenced against the post-setup state, so
+    they agree exactly with the returned result's aggregates. *)
 
 val run_app :
   ?scale:float ->
   ?codegen:Workloads.Codegen.t ->
+  ?telemetry:Telemetry.Registry.t ->
   ranks:int ->
   Platform.Config.t ->
   Workloads.Workload.app ->
   Platform.Soc.result
 (** Run an MPI application with [ranks] ranks on a fresh SoC, built with
-    the given compiler quality (default {!Workloads.Codegen.default}). *)
+    the given compiler quality (default {!Workloads.Codegen.default}).
+    [telemetry] additionally reaches the MPI engine: message-size and
+    wait-time histograms plus per-op trace events on one lane per rank. *)
 
 val relative_speedup : sim:Platform.Soc.result -> hw:Platform.Soc.result -> float
 (** t_hw / t_sim in target seconds (clock-aware, not cycle counts). *)

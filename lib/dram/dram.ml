@@ -29,12 +29,31 @@ type stats = {
   data_bus_ns : float;
 }
 
+type chan_stats = {
+  chan_requests : int;
+  chan_row_hits : int;
+  chan_row_empty : int;
+  chan_row_conflicts : int;
+  chan_queue_stalls : int;
+  chan_occupancy_sum : int;
+  chan_occupancy_max : int;
+}
+
 type bank = { mutable open_row : int; mutable ready_ns : float }
 
 type channel = {
   banks : bank array;
   mutable bus_free_ns : float;
   queue_done : float array;  (* completion times of in-flight requests *)
+  (* Per-channel telemetry: localizes row-buffer behaviour and queue
+     pressure to the channel the paper's DRAM-bound kernels saturate. *)
+  mutable c_requests : int;
+  mutable c_row_hits : int;
+  mutable c_row_empty : int;
+  mutable c_row_conflicts : int;
+  mutable c_queue_stalls : int;
+  mutable c_occ_sum : int;  (* in-flight requests observed at each admission *)
+  mutable c_occ_max : int;
 }
 
 type t = {
@@ -58,6 +77,13 @@ let create cfg =
       banks = Array.init (cfg.ranks * cfg.banks_per_rank) (fun _ -> { open_row = -1; ready_ns = 0.0 });
       bus_free_ns = 0.0;
       queue_done = Array.make cfg.queue_depth 0.0;
+      c_requests = 0;
+      c_row_hits = 0;
+      c_row_empty = 0;
+      c_row_conflicts = 0;
+      c_queue_stalls = 0;
+      c_occ_sum = 0;
+      c_occ_max = 0;
     }
   in
   {
@@ -88,16 +114,24 @@ let request t ~time_ns ~addr ~write =
   let row = per_chan_line / nbanks * cfg.line_bytes / cfg.row_bytes in
   let bank = chan.banks.(bank_i) in
   t.s_requests <- t.s_requests + 1;
+  chan.c_requests <- chan.c_requests + 1;
   if write then t.s_writes <- t.s_writes + 1 else t.s_reads <- t.s_reads + 1;
-  (* Controller queue admission: wait for a slot when all are in flight. *)
+  (* Controller queue admission: wait for a slot when all are in flight.
+     The same pass over the queue counts the in-flight requests, i.e. the
+     queue occupancy this request observes on arrival. *)
   let slot = ref 0 in
+  let in_flight = ref (if chan.queue_done.(0) > time_ns then 1 else 0) in
   for i = 1 to cfg.queue_depth - 1 do
-    if chan.queue_done.(i) < chan.queue_done.(!slot) then slot := i
+    if chan.queue_done.(i) < chan.queue_done.(!slot) then slot := i;
+    if chan.queue_done.(i) > time_ns then incr in_flight
   done;
+  chan.c_occ_sum <- chan.c_occ_sum + !in_flight;
+  if !in_flight > chan.c_occ_max then chan.c_occ_max <- !in_flight;
   let admitted =
     if chan.queue_done.(!slot) <= time_ns then time_ns
     else begin
       t.s_queue_stalls <- t.s_queue_stalls + 1;
+      chan.c_queue_stalls <- chan.c_queue_stalls + 1;
       chan.queue_done.(!slot)
     end
   in
@@ -105,14 +139,17 @@ let request t ~time_ns ~addr ~write =
   let array_ns =
     if bank.open_row = row then begin
       t.s_row_hits <- t.s_row_hits + 1;
+      chan.c_row_hits <- chan.c_row_hits + 1;
       cfg.timing.t_cas_ns
     end
     else if bank.open_row = -1 then begin
       t.s_row_empty <- t.s_row_empty + 1;
+      chan.c_row_empty <- chan.c_row_empty + 1;
       cfg.timing.t_rcd_ns +. cfg.timing.t_cas_ns
     end
     else begin
       t.s_row_conflicts <- t.s_row_conflicts + 1;
+      chan.c_row_conflicts <- chan.c_row_conflicts + 1;
       cfg.timing.t_rp_ns +. cfg.timing.t_rcd_ns +. cfg.timing.t_cas_ns
     end
   in
@@ -139,6 +176,20 @@ let stats t =
     data_bus_ns = t.s_data_bus_ns;
   }
 
+let channel_stats t =
+  Array.map
+    (fun c ->
+      {
+        chan_requests = c.c_requests;
+        chan_row_hits = c.c_row_hits;
+        chan_row_empty = c.c_row_empty;
+        chan_row_conflicts = c.c_row_conflicts;
+        chan_queue_stalls = c.c_queue_stalls;
+        chan_occupancy_sum = c.c_occ_sum;
+        chan_occupancy_max = c.c_occ_max;
+      })
+    t.chans
+
 let reset_stats t =
   t.s_requests <- 0;
   t.s_reads <- 0;
@@ -147,7 +198,17 @@ let reset_stats t =
   t.s_row_empty <- 0;
   t.s_row_conflicts <- 0;
   t.s_queue_stalls <- 0;
-  t.s_data_bus_ns <- 0.0
+  t.s_data_bus_ns <- 0.0;
+  Array.iter
+    (fun c ->
+      c.c_requests <- 0;
+      c.c_row_hits <- 0;
+      c.c_row_empty <- 0;
+      c.c_row_conflicts <- 0;
+      c.c_queue_stalls <- 0;
+      c.c_occ_sum <- 0;
+      c.c_occ_max <- 0)
+    t.chans
 
 let peak_bandwidth_gbs cfg =
   cfg.data_rate_mts *. float_of_int cfg.bus_bytes *. float_of_int cfg.channels /. 1000.0

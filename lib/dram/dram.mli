@@ -47,6 +47,18 @@ type stats = {
   data_bus_ns : float;  (** accumulated bus occupancy, for bandwidth accounting *)
 }
 
+type chan_stats = {
+  chan_requests : int;
+  chan_row_hits : int;
+  chan_row_empty : int;
+  chan_row_conflicts : int;
+  chan_queue_stalls : int;
+  chan_occupancy_sum : int;
+      (** in-flight requests summed over admissions; divide by
+          [chan_requests] for the mean queue occupancy a request sees *)
+  chan_occupancy_max : int;
+}
+
 type t
 
 val create : config -> t
@@ -57,6 +69,10 @@ val request : t -> time_ns:float -> addr:int -> write:bool -> float
     on the address. *)
 
 val stats : t -> stats
+
+val channel_stats : t -> chan_stats array
+(** Per-channel row-buffer and queue behaviour, index = channel. *)
+
 val reset_stats : t -> unit
 
 val peak_bandwidth_gbs : config -> float

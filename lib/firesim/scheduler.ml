@@ -15,9 +15,16 @@ type policy =
   | Reverse
   | Random of Util.Rng.t
 
+type model_stats = {
+  model_name : string;
+  fired_cycles : int;
+  stalls : int;
+}
+
 type outcome = {
   host_iterations : int;
   fired : int;
+  per_model : model_stats list;
 }
 
 let fireable m target_cycles =
@@ -33,11 +40,14 @@ let fire m =
   List.iter2 Channel.enqueue m.outputs outs;
   m.cycle <- m.cycle + 1
 
-let run ?(policy = Round_robin) ~models ~target_cycles () =
+let run ?(policy = Round_robin) ?(telemetry = Telemetry.Registry.disabled) ~models ~target_cycles
+    () =
   let arr = Array.of_list models in
   let n = Array.length arr in
   let iterations = ref 0 in
   let fired = ref 0 in
+  let fired_m = Array.make n 0 in
+  let stalls_m = Array.make n 0 in
   let order () =
     match policy with
     | Round_robin -> Array.init n (fun i -> i)
@@ -54,8 +64,14 @@ let run ?(policy = Round_robin) ~models ~target_cycles () =
         if fireable m target_cycles then begin
           fire m;
           incr fired;
+          fired_m.(i) <- fired_m.(i) + 1;
           progressed := true
-        end)
+        end
+        else if m.cycle < target_cycles then
+          (* Polled while starved of input tokens or back-pressured on
+             output space: a host-level stall, dependent on the visit
+             order the policy chose. *)
+          stalls_m.(i) <- stalls_m.(i) + 1)
       (order ());
     if not !progressed then
       failwith
@@ -65,4 +81,36 @@ let run ?(policy = Round_robin) ~models ~target_cycles () =
             |> List.filter (fun m -> m.cycle < target_cycles)
             |> List.map (fun m -> m.m_name)))
   done;
-  { host_iterations = !iterations; fired = !fired }
+  (* Target-level "firesim.model." counters are invariant across host
+     policies; host-level "firesim.host." ones are allowed to differ. *)
+  if Telemetry.Registry.enabled telemetry then begin
+    Telemetry.Registry.set_all telemetry
+      (("firesim.host.iterations", !iterations)
+      :: List.concat
+           (List.init n (fun i ->
+                [
+                  (Printf.sprintf "firesim.model.%s.fired" arr.(i).m_name, fired_m.(i));
+                  (Printf.sprintf "firesim.host.%s.stalls" arr.(i).m_name, stalls_m.(i));
+                ])));
+    Array.iteri
+      (fun i m ->
+        Telemetry.Trace.record
+          (Telemetry.Registry.trace telemetry)
+          {
+            Telemetry.Trace.name = m.m_name;
+            cat = "firesim";
+            ph = 'X';
+            ts = m.cycle - fired_m.(i);
+            dur = fired_m.(i);
+            tid = i;
+            args = [ ("stalls", Telemetry.Trace.Int stalls_m.(i)) ];
+          })
+      arr
+  end;
+  {
+    host_iterations = !iterations;
+    fired = !fired;
+    per_model =
+      List.init n (fun i ->
+          { model_name = arr.(i).m_name; fired_cycles = fired_m.(i); stalls = stalls_m.(i) });
+  }

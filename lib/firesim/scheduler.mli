@@ -27,12 +27,33 @@ type policy =
   | Reverse  (** iterate models in reverse order: adversarial interleave *)
   | Random of Util.Rng.t
 
+type model_stats = {
+  model_name : string;
+  fired_cycles : int;  (** target cycles this model advanced in the run *)
+  stalls : int;
+      (** host-level: times the scheduler polled the model while it was
+          starved of input tokens or back-pressured; depends on the host
+          policy, unlike [fired_cycles] *)
+}
+
 type outcome = {
   host_iterations : int;  (** scheduler passes needed *)
   fired : int;  (** total model firings (= models x target cycles) *)
+  per_model : model_stats list;  (** in the order models were given *)
 }
 
-val run : ?policy:policy -> models:model list -> target_cycles:int -> unit -> outcome
+val run :
+  ?policy:policy ->
+  ?telemetry:Telemetry.Registry.t ->
+  models:model list ->
+  target_cycles:int ->
+  unit ->
+  outcome
 (** Advance every model by [target_cycles] target cycles.  Raises
     [Failure] if the network deadlocks (e.g. a channel cycle with no
-    initial tokens). *)
+    initial tokens).
+
+    With [telemetry], registers [firesim.model.<name>.fired] counters
+    (target-level, host-policy invariant), [firesim.host.<name>.stalls]
+    and [firesim.host.iterations] (host-level, policy dependent), and one
+    trace lane per model. *)

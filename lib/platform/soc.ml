@@ -177,7 +177,121 @@ let collect soc ~ranks ~comm =
     comm;
   }
 
-let run_ranks ?quantum soc program =
+(* Full named counter snapshot of the memory hierarchy, used by the
+   telemetry layer.  Values are cumulative over the SoC's lifetime and
+   monotone, so callers can difference two snapshots to isolate a
+   measured region (Runner does this to exclude setup streams). *)
+let counters soc =
+  let cache_counters prefix (s : Cache.stats) =
+    [
+      (prefix ^ ".accesses", s.Cache.accesses);
+      (prefix ^ ".hits", s.Cache.hits);
+      (prefix ^ ".misses", s.Cache.misses);
+      (prefix ^ ".evictions", s.Cache.evictions);
+      (prefix ^ ".writebacks", s.Cache.writebacks);
+      (prefix ^ ".bank_conflicts", s.Cache.bank_conflicts);
+      (prefix ^ ".mshr_stalls", s.Cache.mshr_stalls);
+      (prefix ^ ".prefetches", s.Cache.prefetches);
+    ]
+  in
+  let sum_caches arr =
+    Array.fold_left
+      (fun acc c ->
+        let s = Cache.stats c in
+        {
+          Cache.accesses = acc.Cache.accesses + s.Cache.accesses;
+          hits = acc.Cache.hits + s.Cache.hits;
+          misses = acc.Cache.misses + s.Cache.misses;
+          evictions = acc.Cache.evictions + s.Cache.evictions;
+          writebacks = acc.Cache.writebacks + s.Cache.writebacks;
+          bank_conflicts = acc.Cache.bank_conflicts + s.Cache.bank_conflicts;
+          mshr_stalls = acc.Cache.mshr_stalls + s.Cache.mshr_stalls;
+          prefetches = acc.Cache.prefetches + s.Cache.prefetches;
+        })
+      {
+        Cache.accesses = 0;
+        hits = 0;
+        misses = 0;
+        evictions = 0;
+        writebacks = 0;
+        bank_conflicts = 0;
+        mshr_stalls = 0;
+        prefetches = 0;
+      }
+      arr
+  in
+  let tlb_counters prefix arr =
+    let acc, l1m, walks =
+      Array.fold_left
+        (fun (a, m, w) tlb ->
+          let s = Tlb.stats tlb in
+          (a + s.Tlb.accesses, m + s.Tlb.l1_misses, w + s.Tlb.walks))
+        (0, 0, 0) arr
+    in
+    [ (prefix ^ ".accesses", acc); (prefix ^ ".l1_misses", l1m); (prefix ^ ".walks", walks) ]
+  in
+  let core_counters =
+    let instructions, cycles, loads, stores, mispredicts =
+      Array.fold_left
+        (fun (i, c, l, s, m) core ->
+          let st = core_stats_of core in
+          (i + st.instructions, max c st.cycles, l + st.loads, s + st.stores, m + st.mispredicts))
+        (0, 0, 0, 0, 0) soc.cores
+    in
+    [
+      ("core.instructions", instructions);
+      ("core.cycles", cycles);
+      ("core.loads", loads);
+      ("core.stores", stores);
+      ("core.mispredicts", mispredicts);
+    ]
+  in
+  let bus_counters =
+    let s = Interconnect.Bus.stats soc.bus in
+    [
+      ("bus.transfers", s.Interconnect.Bus.transfers);
+      ("bus.beats", s.Interconnect.Bus.beats);
+      ("bus.contended", s.Interconnect.Bus.contended);
+      ("bus.busy_cycles", s.Interconnect.Bus.busy_cycles);
+    ]
+  in
+  let dram_counters =
+    let s = Dram.stats soc.dram in
+    [
+      ("dram.requests", s.Dram.requests);
+      ("dram.reads", s.Dram.reads);
+      ("dram.writes", s.Dram.writes);
+      ("dram.row_hits", s.Dram.row_hits);
+      ("dram.row_empty", s.Dram.row_empty);
+      ("dram.row_conflicts", s.Dram.row_conflicts);
+      ("dram.queue_stalls", s.Dram.queue_stalls);
+    ]
+    @ List.concat
+        (Array.to_list
+           (Array.mapi
+              (fun i (c : Dram.chan_stats) ->
+                let p = Printf.sprintf "dram.chan%d" i in
+                [
+                  (p ^ ".requests", c.Dram.chan_requests);
+                  (p ^ ".row_hits", c.Dram.chan_row_hits);
+                  (p ^ ".row_empty", c.Dram.chan_row_empty);
+                  (p ^ ".row_conflicts", c.Dram.chan_row_conflicts);
+                  (p ^ ".queue_stalls", c.Dram.chan_queue_stalls);
+                  (p ^ ".occupancy_sum", c.Dram.chan_occupancy_sum);
+                  (p ^ ".occupancy_max", c.Dram.chan_occupancy_max);
+                ])
+              (Dram.channel_stats soc.dram)))
+  in
+  core_counters
+  @ cache_counters "cache.l1i" (sum_caches soc.l1i)
+  @ cache_counters "cache.l1d" (sum_caches soc.l1d)
+  @ cache_counters "cache.l2" (Cache.stats soc.l2)
+  @ (match soc.llc with None -> [] | Some llc -> cache_counters "cache.llc" (Cache.stats llc))
+  @ tlb_counters "tlb.dtlb" soc.dtlb
+  @ tlb_counters "tlb.itlb" soc.itlb
+  @ bus_counters @ dram_counters
+
+let run_ranks ?quantum ?telemetry soc program =
   let ranks = Array.length program in
   if ranks > soc.cfg.Config.cores then
     invalid_arg
@@ -192,7 +306,7 @@ let run_ranks ?quantum soc program =
           advance_to = core_advance core;
         })
   in
-  let comm = Smpi.Engine.run ?quantum (fabric soc) ifaces program in
+  let comm = Smpi.Engine.run ?quantum ?telemetry (fabric soc) ifaces program in
   collect soc ~ranks ~comm:(Some comm)
 
 let run_stream soc stream =

@@ -41,9 +41,17 @@ val create : Config.t -> t
 
 val config : t -> Config.t
 
-val run_ranks : ?quantum:int -> t -> Smpi.program -> result
+val run_ranks : ?quantum:int -> ?telemetry:Telemetry.Registry.t -> t -> Smpi.program -> result
 (** Run an MPI program with as many ranks as the program has (must not
-    exceed the platform's core count). *)
+    exceed the platform's core count).  [telemetry] is forwarded to the
+    MPI engine (message/wait histograms, per-op trace events). *)
+
+val counters : t -> (string * int) list
+(** Named snapshot of every component counter in the SoC: per-level cache
+    stats ([cache.l1i.*], [cache.l1d.*], [cache.l2.*], [cache.llc.*]),
+    per-channel DRAM row-buffer and queue behaviour ([dram.chanN.*]),
+    TLB, bus, and summed core stats.  Cumulative and monotone — difference
+    two snapshots to isolate a measured region. *)
 
 val run_stream : t -> Isa.Insn.t Seq.t -> result
 (** Run a single instruction stream on core 0. *)

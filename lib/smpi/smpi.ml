@@ -132,11 +132,29 @@ module Engine = struct
     | Allgather { bytes } -> bytes * (nranks - 1)
     | Send _ | Recv _ | Sendrecv _ -> 0
 
-  let run ?(quantum = 100) fabric ifaces program =
+  let run ?(quantum = 100) ?(telemetry = Telemetry.Registry.disabled) fabric ifaces program =
     let quantum = max 1 quantum in
     let horizon = ref quantum in
     let nranks = Array.length ifaces in
     if Array.length program <> nranks then invalid_arg "Engine.run: rank count mismatch";
+    (* Telemetry handles are created once; on the disabled sink they are
+       dead cells and every update below is a dropped store. *)
+    let h_msg_bytes = Telemetry.Registry.histogram telemetry "smpi.msg_bytes" in
+    let h_recv_wait = Telemetry.Registry.histogram telemetry "smpi.recv_wait_cycles" in
+    let h_coll_wait = Telemetry.Registry.histogram telemetry "smpi.coll_wait_cycles" in
+    let tr = Telemetry.Registry.trace telemetry in
+    let trace_op ~name ~rank ~ts ~dur ~bytes =
+      Telemetry.Trace.record tr
+        {
+          Telemetry.Trace.name;
+          cat = "smpi";
+          ph = 'X';
+          ts;
+          dur = max 0 dur;
+          tid = rank;
+          args = (if bytes = 0 then [] else [ ("bytes", Telemetry.Trace.Int bytes) ]);
+        }
+    in
     let states =
       Array.map (fun segs -> { segments = segs; coll_index = 0; coll_posted = false }) program
     in
@@ -168,7 +186,9 @@ module Engine = struct
       iface.advance_to done_;
       post_message ~src:rank ~dst ~tag { m_bytes = bytes; avail = done_ };
       incr s_messages;
-      s_bytes := !s_bytes + bytes
+      s_bytes := !s_bytes + bytes;
+      Telemetry.Registry.observe h_msg_bytes (float_of_int bytes);
+      trace_op ~name:(Printf.sprintf "send->%d" dst) ~rank ~ts:t0 ~dur:(done_ - t0) ~bytes
     in
     (* Try to execute one segment of rank [r]; returns true on progress. *)
     let step r =
@@ -211,6 +231,8 @@ module Engine = struct
              the receiver). *)
           let done_ = fabric.transfer ~src:r ~dst:r ~cycle:start ~bytes:(max bytes msg.m_bytes) in
           s_blocked_max := max !s_blocked_max (done_ - t0);
+          Telemetry.Registry.observe h_recv_wait (float_of_int (done_ - t0));
+          trace_op ~name:(Printf.sprintf "recv<-%d" src) ~rank:r ~ts:t0 ~dur:(done_ - t0) ~bytes;
           iface.advance_to done_;
           st.segments <- rest;
           true)
@@ -250,7 +272,13 @@ module Engine = struct
           end
         end;
         if slot.finish >= 0 then begin
-          s_blocked_max := max !s_blocked_max (slot.finish - iface.now ());
+          let t0 = iface.now () in
+          s_blocked_max := max !s_blocked_max (slot.finish - t0);
+          Telemetry.Registry.observe h_coll_wait (float_of_int (max 0 (slot.finish - t0)));
+          trace_op
+            ~name:(Format.asprintf "%a" pp_op coll)
+            ~rank:r ~ts:t0 ~dur:(slot.finish - t0)
+            ~bytes:(collective_bytes nranks coll);
           iface.advance_to slot.finish;
           st.coll_index <- st.coll_index + 1;
           st.coll_posted <- false;
@@ -295,6 +323,13 @@ module Engine = struct
       end
     in
     loop ();
+    Telemetry.Registry.set_all telemetry
+      [
+        ("smpi.messages", !s_messages);
+        ("smpi.bytes_moved", !s_bytes);
+        ("smpi.collectives", !s_colls);
+        ("smpi.comm_cycles_max", !s_blocked_max);
+      ];
     {
       messages = !s_messages;
       bytes_moved = !s_bytes;

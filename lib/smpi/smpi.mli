@@ -65,12 +65,23 @@ type comm_stats = {
 exception Deadlock of string
 
 module Engine : sig
-  val run : ?quantum:int -> fabric -> rank_iface array -> program -> comm_stats
+  val run :
+    ?quantum:int ->
+    ?telemetry:Telemetry.Registry.t ->
+    fabric ->
+    rank_iface array ->
+    program ->
+    comm_stats
   (** Co-simulate all ranks to completion.  Compute advances in lockstep
       cycle windows of [quantum] cycles (default 100): every rank runs
       until its clock crosses the shared horizon, then the horizon moves.
       This bounds the timestamp skew seen by the shared caches, bus and
       DRAM, so their contention models stay meaningful under concurrency.
       Raises {!Deadlock} when no rank can make progress (mismatched
-      program). *)
+      program).
+
+      With [telemetry], fills message-size and wait-time histograms
+      ([smpi.msg_bytes], [smpi.recv_wait_cycles], [smpi.coll_wait_cycles]),
+      publishes the {!comm_stats} as [smpi.*] counters, and records one
+      trace event per communication operation (lane = rank). *)
 end

@@ -1,0 +1,159 @@
+let f = Report.Table.cell_f
+
+(* ------------------------------------------------------------- summary *)
+
+let summary reg =
+  let buf = Buffer.create 1024 in
+  let section title = Buffer.add_string buf (Printf.sprintf "== %s ==\n" title) in
+  let counters = Registry.counters reg in
+  if counters <> [] then begin
+    section "counters";
+    let t = Report.Table.create ~headers:[ "counter"; "value" ] in
+    List.iter (fun (name, v) -> Report.Table.add_row t [ name; string_of_int v ]) counters;
+    Buffer.add_string buf (Report.Table.render t);
+    Buffer.add_char buf '\n'
+  end;
+  let hists = Registry.histograms reg in
+  if hists <> [] then begin
+    section "histograms";
+    let t =
+      Report.Table.create ~headers:[ "histogram"; "count"; "mean"; "p50"; "p95"; "min"; "max" ]
+    in
+    List.iter
+      (fun (name, (s : Registry.hist_stats)) ->
+        Report.Table.add_row t
+          [ name; string_of_int s.count; f s.mean; f s.p50; f s.p95; f s.min; f s.max ])
+      hists;
+    Buffer.add_string buf (Report.Table.render t);
+    Buffer.add_char buf '\n'
+  end;
+  let phases = Registry.phases reg in
+  if phases <> [] then begin
+    section "phases";
+    let t =
+      Report.Table.create ~headers:[ "phase"; "target cycles"; "target span"; "wall ms" ]
+    in
+    List.iter
+      (fun (p : Registry.phase_info) ->
+        Report.Table.add_row t
+          [
+            p.ph_name;
+            Printf.sprintf "%d..%d" p.ph_ts0 p.ph_ts1;
+            string_of_int (p.ph_ts1 - p.ph_ts0);
+            f (p.ph_wall_s *. 1e3);
+          ])
+      phases;
+    Buffer.add_string buf (Report.Table.render t);
+    Buffer.add_char buf '\n'
+  end;
+  let tr = Registry.trace reg in
+  section "trace";
+  Buffer.add_string buf
+    (Printf.sprintf "%d events retained, %d dropped (capacity %d)\n" (Trace.length tr)
+       (Trace.dropped tr) (Trace.capacity tr));
+  Buffer.contents buf
+
+(* ----------------------------------------------------------------- csv *)
+
+let to_csv reg =
+  let t = Report.Table.create ~headers:[ "kind"; "name"; "field"; "value" ] in
+  let row kind name field value = Report.Table.add_row t [ kind; name; field; value ] in
+  List.iter
+    (fun (name, v) -> row "counter" name "value" (string_of_int v))
+    (Registry.counters reg);
+  List.iter
+    (fun (name, (s : Registry.hist_stats)) ->
+      row "histogram" name "count" (string_of_int s.count);
+      row "histogram" name "sum" (f s.sum);
+      row "histogram" name "mean" (f s.mean);
+      row "histogram" name "p50" (f s.p50);
+      row "histogram" name "p95" (f s.p95);
+      row "histogram" name "min" (f s.min);
+      row "histogram" name "max" (f s.max))
+    (Registry.histograms reg);
+  List.iter
+    (fun (p : Registry.phase_info) ->
+      row "phase" p.ph_name "target_cycles" (string_of_int (p.ph_ts1 - p.ph_ts0));
+      row "phase" p.ph_name "wall_s" (Printf.sprintf "%.6f" p.ph_wall_s))
+    (Registry.phases reg);
+  Report.Table.to_csv t
+
+(* ---------------------------------------------------------------- json *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_arg = function
+  | Trace.Int n -> string_of_int n
+  | Trace.Float x -> Printf.sprintf "%.6g" x
+  | Trace.Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+
+let json_event (e : Trace.event) =
+  let args =
+    match e.args with
+    | [] -> ""
+    | args ->
+      let fields =
+        List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (json_escape k) (json_arg v)) args
+      in
+      Printf.sprintf ",\"args\":{%s}" (String.concat "," fields)
+  in
+  let dur = if e.ph = 'X' then Printf.sprintf ",\"dur\":%d" e.dur else "" in
+  Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",\"ts\":%d,\"pid\":0,\"tid\":%d%s%s}"
+    (json_escape e.name) (json_escape e.cat) e.ph e.ts e.tid dur args
+
+let chrome_trace reg =
+  let tr = Registry.trace reg in
+  let meta =
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"simbridge\"}}"
+  in
+  (* A final counter sample makes headline counters visible on the
+     timeline even for traces that only carry phase events. *)
+  let final_counters =
+    match Registry.counters reg with
+    | [] -> []
+    | kvs ->
+      let ts =
+        List.fold_left (fun acc (p : Registry.phase_info) -> max acc p.ph_ts1) 0
+          (Registry.phases reg)
+      in
+      List.map
+        (fun (name, v) ->
+          json_event
+            { Trace.name; cat = "counter"; ph = 'C'; ts; dur = 0; tid = 0; args = [ ("value", Trace.Int v) ] })
+        kvs
+  in
+  let events = meta :: (List.map json_event (Trace.to_list tr) @ final_counters) in
+  Printf.sprintf "{\"traceEvents\":[\n%s\n],\"displayTimeUnit\":\"ms\"}\n"
+    (String.concat ",\n" events)
+
+(* --------------------------------------------------------------- write *)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let write reg ~dir =
+  mkdir_p dir;
+  write_file (Filename.concat dir "telemetry.txt") (summary reg);
+  write_file (Filename.concat dir "telemetry.csv") (to_csv reg);
+  write_file (Filename.concat dir "trace.json") (chrome_trace reg)

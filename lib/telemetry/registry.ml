@@ -1,0 +1,149 @@
+type counter = { c_live : bool; mutable c_v : int }
+
+type histogram = {
+  h_live : bool;
+  mutable h_buf : float array;
+  mutable h_n : int;
+}
+
+type hist_stats = {
+  count : int;
+  sum : float;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+}
+
+type phase_info = {
+  ph_name : string;
+  ph_ts0 : int;
+  ph_ts1 : int;
+  ph_wall_s : float;
+}
+
+type t = {
+  live : bool;
+  counters_tbl : (string, counter) Hashtbl.t;
+  hists_tbl : (string, histogram) Hashtbl.t;
+  mutable phases_rev : phase_info list;
+  tr : Trace.t;
+}
+
+let create ?(trace_capacity = 65536) () =
+  {
+    live = true;
+    counters_tbl = Hashtbl.create 64;
+    hists_tbl = Hashtbl.create 16;
+    phases_rev = [];
+    tr = Trace.create ~capacity:trace_capacity;
+  }
+
+(* The shared sink.  Nothing may ever mutate it: [counter]/[histogram]
+   hand out unregistered dead cells instead of touching the tables. *)
+let disabled =
+  {
+    live = false;
+    counters_tbl = Hashtbl.create 1;
+    hists_tbl = Hashtbl.create 1;
+    phases_rev = [];
+    tr = Trace.create ~capacity:0;
+  }
+
+let enabled t = t.live
+let trace t = t.tr
+
+(* ------------------------------------------------------------ counters *)
+
+let counter t name =
+  if not t.live then { c_live = false; c_v = 0 }
+  else
+    match Hashtbl.find_opt t.counters_tbl name with
+    | Some c -> c
+    | None ->
+      let c = { c_live = true; c_v = 0 } in
+      Hashtbl.add t.counters_tbl name c;
+      c
+
+let incr c = c.c_v <- c.c_v + 1
+let add c n = c.c_v <- c.c_v + n
+let set c v = c.c_v <- v
+let value c = c.c_v
+let set_all t kvs = List.iter (fun (name, v) -> set (counter t name) v) kvs
+
+let counters t =
+  Hashtbl.fold (fun name c acc -> (name, c.c_v) :: acc) t.counters_tbl []
+  |> List.sort compare
+
+let find_counter t name = Option.map (fun c -> c.c_v) (Hashtbl.find_opt t.counters_tbl name)
+
+(* ---------------------------------------------------------- histograms *)
+
+let histogram t name =
+  if not t.live then { h_live = false; h_buf = [||]; h_n = 0 }
+  else
+    match Hashtbl.find_opt t.hists_tbl name with
+    | Some h -> h
+    | None ->
+      let h = { h_live = true; h_buf = [||]; h_n = 0 } in
+      Hashtbl.add t.hists_tbl name h;
+      h
+
+let observe h x =
+  if h.h_live then begin
+    let cap = Array.length h.h_buf in
+    if h.h_n = cap then begin
+      let grown = Array.make (max 64 (2 * cap)) 0.0 in
+      Array.blit h.h_buf 0 grown 0 h.h_n;
+      h.h_buf <- grown
+    end;
+    h.h_buf.(h.h_n) <- x;
+    h.h_n <- h.h_n + 1
+  end
+
+let hist_stats h =
+  if h.h_n = 0 then invalid_arg "Registry.hist_stats: empty histogram";
+  let xs = Array.sub h.h_buf 0 h.h_n in
+  let lo, hi = Util.Stats.min_max xs in
+  {
+    count = h.h_n;
+    sum = Util.Stats.sum xs;
+    mean = Util.Stats.mean xs;
+    min = lo;
+    max = hi;
+    p50 = Util.Stats.percentile xs 50.0;
+    p95 = Util.Stats.percentile xs 95.0;
+  }
+
+let histograms t =
+  Hashtbl.fold
+    (fun name h acc -> if h.h_n = 0 then acc else (name, hist_stats h) :: acc)
+    t.hists_tbl []
+  |> List.sort compare
+
+(* -------------------------------------------------------------- phases *)
+
+type phase = { p_name : string; p_ts0 : int; p_wall0 : float }
+
+let phase_start t ?(ts = 0) name =
+  { p_name = name; p_ts0 = ts; p_wall0 = (if t.live then Unix.gettimeofday () else 0.0) }
+
+let phase_end t p ?(ts = 0) ?(args = []) () =
+  if t.live then begin
+    let wall = Unix.gettimeofday () -. p.p_wall0 in
+    t.phases_rev <-
+      { ph_name = p.p_name; ph_ts0 = p.p_ts0; ph_ts1 = ts; ph_wall_s = wall } :: t.phases_rev;
+    Trace.record t.tr
+      {
+        Trace.name = p.p_name;
+        cat = "phase";
+        ph = 'X';
+        ts = p.p_ts0;
+        dur = max 0 (ts - p.p_ts0);
+        tid = 0;
+        args;
+      }
+  end
+
+let phases t = List.rev t.phases_rev

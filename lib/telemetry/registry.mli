@@ -1,0 +1,101 @@
+(** Telemetry registry: named counters, histograms, and per-phase timers,
+    plus a bounded event-trace ring ({!Trace}).
+
+    Design constraints (see ISSUE 1):
+
+    - {b Zero-cost when disabled.}  Instrumentation sites receive a
+      registry handle; {!disabled} is a shared no-op sink.  Handles
+      created against it are dead cells — updates are a single store on a
+      throwaway record, nothing registers, no wall clock is read — so
+      benchmark numbers are unaffected by the instrumentation.
+    - {b Deterministic.}  Counters, histograms, and trace timestamps are
+      functions of the simulated execution only (target cycles, token
+      counts), never of host time.  Wall-clock readings are confined to
+      {!phase_start}/{!phase_end} and reported separately, so tests can
+      assert telemetry invariance across host scheduling policies.
+
+    Naming convention: dot-separated paths, component first —
+    ["cache.l1d.misses"], ["dram.chan0.row_hits"],
+    ["firesim.model.core.fired"].  Counters under ["firesim.host."] are
+    host-level (scheduler iterations, per-model stall polls) and are the
+    only ones allowed to vary with the host scheduling policy. *)
+
+type t
+
+type counter
+type histogram
+
+type hist_stats = {
+  count : int;
+  sum : float;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+}
+
+type phase_info = {
+  ph_name : string;
+  ph_ts0 : int;  (** target-cycle start *)
+  ph_ts1 : int;  (** target-cycle end *)
+  ph_wall_s : float;  (** host wall-clock spent in the phase *)
+}
+
+val create : ?trace_capacity:int -> unit -> t
+(** A live registry.  [trace_capacity] bounds the event ring (default
+    65536; 0 disables tracing while keeping counters live). *)
+
+val disabled : t
+(** The shared no-op sink: never registers, never allocates per event,
+    never reads the clock.  Exporting it yields empty reports. *)
+
+val enabled : t -> bool
+val trace : t -> Trace.t
+
+(** {2 Counters} *)
+
+val counter : t -> string -> counter
+(** Find-or-create.  Call once at setup and keep the handle; updates on
+    the handle are branch-free stores. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set : counter -> int -> unit
+val value : counter -> int
+
+val set_all : t -> (string * int) list -> unit
+(** [set_all t kvs] sets each named counter to the given absolute value
+    (creating it if needed).  Components publish stat snapshots this
+    way. *)
+
+val counters : t -> (string * int) list
+(** All registered counters, sorted by name. *)
+
+val find_counter : t -> string -> int option
+
+(** {2 Histograms} *)
+
+val histogram : t -> string -> histogram
+val observe : histogram -> float -> unit
+
+val hist_stats : histogram -> hist_stats
+(** Raises [Invalid_argument] on an empty histogram. *)
+
+val histograms : t -> (string * hist_stats) list
+(** All non-empty registered histograms, sorted by name. *)
+
+(** {2 Phases} *)
+
+type phase
+
+val phase_start : t -> ?ts:int -> string -> phase
+(** Open a phase at target cycle [ts] (default 0).  Reads the wall clock
+    only on a live registry. *)
+
+val phase_end : t -> phase -> ?ts:int -> ?args:(string * Trace.arg) list -> unit -> unit
+(** Close a phase at target cycle [ts]: records a {!phase_info} and a
+    Chrome 'X' (complete) event spanning [ts0, ts] in the trace. *)
+
+val phases : t -> phase_info list
+(** Completed phases, in completion order. *)

@@ -1,0 +1,50 @@
+type arg =
+  | Int of int
+  | Float of float
+  | Str of string
+
+type event = {
+  name : string;
+  cat : string;
+  ph : char;
+  ts : int;
+  dur : int;
+  tid : int;
+  args : (string * arg) list;
+}
+
+type t = {
+  cap : int;
+  mutable buf : event array;  (* allocated on first record *)
+  mutable head : int;  (* index of oldest retained event *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Trace.create: negative capacity";
+  { cap = capacity; buf = [||]; head = 0; len = 0; dropped = 0 }
+
+let record t e =
+  if t.cap > 0 then begin
+    if Array.length t.buf = 0 then t.buf <- Array.make t.cap e;
+    if t.len < t.cap then begin
+      t.buf.((t.head + t.len) mod t.cap) <- e;
+      t.len <- t.len + 1
+    end
+    else begin
+      t.buf.(t.head) <- e;
+      t.head <- (t.head + 1) mod t.cap;
+      t.dropped <- t.dropped + 1
+    end
+  end
+
+let capacity t = t.cap
+let length t = t.len
+let dropped t = t.dropped
+let to_list t = List.init t.len (fun i -> t.buf.((t.head + i) mod t.cap))
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0;
+  t.dropped <- 0

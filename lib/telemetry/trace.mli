@@ -1,0 +1,45 @@
+(** Bounded event-trace ring buffer.
+
+    Events follow the Chrome trace-event model (name, category, phase,
+    timestamp, duration, thread lane, arguments) so the exporter can emit
+    them directly as [chrome://tracing] / Perfetto JSON.  Timestamps are
+    *target* cycles, not host time: the trace is a deterministic function
+    of the simulated execution, which is what lets the scheduler's
+    host-policy-independence property extend to telemetry.
+
+    The buffer is a fixed-capacity ring: recording beyond capacity drops
+    the *oldest* events (the tail of a run is usually the interesting
+    part) and counts the drops. *)
+
+type arg =
+  | Int of int
+  | Float of float
+  | Str of string
+
+type event = {
+  name : string;
+  cat : string;  (** coarse component label: "phase", "smpi", "firesim", ... *)
+  ph : char;  (** Chrome phase: 'X' complete, 'i' instant, 'C' counter *)
+  ts : int;  (** start, in target cycles *)
+  dur : int;  (** duration in target cycles; 0 for instants *)
+  tid : int;  (** lane: rank / model index / 0 *)
+  args : (string * arg) list;
+}
+
+type t
+
+val create : capacity:int -> t
+(** [capacity = 0] gives a sink that drops everything (the disabled
+    registry uses it). *)
+
+val record : t -> event -> unit
+val capacity : t -> int
+val length : t -> int
+
+val dropped : t -> int
+(** Events discarded because the ring was full. *)
+
+val to_list : t -> event list
+(** Retained events, oldest first. *)
+
+val clear : t -> unit

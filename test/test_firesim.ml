@@ -58,6 +58,44 @@ let test_scheduler_counts () =
   Alcotest.(check int) "a done" 50 (Firesim.Scheduler.cycles_done a);
   Alcotest.(check int) "b done" 50 (Firesim.Scheduler.cycles_done b)
 
+(* Per-model outcome stats: regardless of host policy, every model must
+   advance exactly [target_cycles] target cycles, with stalls accounting
+   for starved polls. *)
+let per_model_under policy =
+  let ch = Firesim.Channel.create ~capacity:1 in
+  let sink = Firesim.Channel.create ~capacity:1000 in
+  let a = Firesim.Scheduler.model ~name:"prod" ~inputs:[] ~outputs:[ ch ] ~step:(fun c _ -> [ c ]) in
+  let b = Firesim.Scheduler.model ~name:"cons" ~inputs:[ ch ] ~outputs:[ sink ] ~step:(fun _ t -> t) in
+  Firesim.Scheduler.run ~policy ~models:[ a; b ] ~target_cycles:40 ()
+
+let check_per_model (o : Firesim.Scheduler.outcome) =
+  Alcotest.(check int) "two models reported" 2 (List.length o.Firesim.Scheduler.per_model);
+  Alcotest.(check (list string))
+    "model order preserved" [ "prod"; "cons" ]
+    (List.map (fun m -> m.Firesim.Scheduler.model_name) o.Firesim.Scheduler.per_model);
+  List.iter
+    (fun (m : Firesim.Scheduler.model_stats) ->
+      Alcotest.(check int) (m.model_name ^ " fired 40 cycles") 40 m.Firesim.Scheduler.fired_cycles;
+      Alcotest.(check bool) (m.model_name ^ " stalls non-negative") true (m.Firesim.Scheduler.stalls >= 0))
+    o.Firesim.Scheduler.per_model;
+  Alcotest.(check int) "per-model sums to fired" o.Firesim.Scheduler.fired
+    (List.fold_left (fun acc m -> acc + m.Firesim.Scheduler.fired_cycles) 0
+       o.Firesim.Scheduler.per_model)
+
+let test_per_model_round_robin () = check_per_model (per_model_under Firesim.Scheduler.Round_robin)
+let test_per_model_reverse () = check_per_model (per_model_under Firesim.Scheduler.Reverse)
+
+let test_per_model_random () =
+  check_per_model (per_model_under (Firesim.Scheduler.Random (Util.Rng.create 7)))
+
+let test_per_model_stalls_seen () =
+  (* Under Reverse order the consumer is always polled before the
+     producer has enqueued this cycle's token, so it must record
+     stalls. *)
+  let o = per_model_under Firesim.Scheduler.Reverse in
+  let cons = List.nth o.Firesim.Scheduler.per_model 1 in
+  Alcotest.(check bool) "consumer stalled at least once" true (cons.Firesim.Scheduler.stalls > 0)
+
 let test_scheduler_deadlock () =
   (* Two models in a token cycle with no initial tokens. *)
   let c1 = Firesim.Channel.create ~capacity:1 in
@@ -130,6 +168,10 @@ let suite =
     Alcotest.test_case "channel empty dequeue" `Quick test_channel_empty_dequeue;
     Alcotest.test_case "schedule independence" `Quick test_schedule_independence;
     Alcotest.test_case "scheduler counts" `Quick test_scheduler_counts;
+    Alcotest.test_case "per-model counts (round-robin)" `Quick test_per_model_round_robin;
+    Alcotest.test_case "per-model counts (reverse)" `Quick test_per_model_reverse;
+    Alcotest.test_case "per-model counts (random)" `Quick test_per_model_random;
+    Alcotest.test_case "per-model stalls observed" `Quick test_per_model_stalls_seen;
     Alcotest.test_case "scheduler deadlock" `Quick test_scheduler_deadlock;
     Alcotest.test_case "primed token loop" `Quick test_scheduler_primed_loop;
     Alcotest.test_case "host rates match paper" `Quick test_host_rates_match_paper;

@@ -17,6 +17,7 @@ let () =
       ("multinode", Test_multinode.suite);
       ("workloads", Test_workloads.suite);
       ("report", Test_report.suite);
+      ("telemetry", Test_telemetry.suite);
       ("simbridge", Test_simbridge.suite);
       ("integration", Test_integration.suite);
     ]

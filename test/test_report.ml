@@ -26,6 +26,68 @@ let test_csv_quoting () =
      let rec find i = i + 4 <= String.length s && (String.sub s i 4 = "x\"\"y" || find (i + 1)) in
      find 0)
 
+(* A minimal RFC-4180 parser (quoted fields, doubled quotes, embedded
+   commas/newlines) used to prove Table.to_csv quoting round-trips. *)
+let parse_csv s =
+  let rows = ref [] and row = ref [] and field = Buffer.create 16 in
+  let flush_field () =
+    row := Buffer.contents field :: !row;
+    Buffer.clear field
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !row :: !rows;
+    row := []
+  in
+  let n = String.length s in
+  let rec go i ~quoted =
+    if i >= n then (if !row <> [] || Buffer.length field > 0 then flush_row ())
+    else
+      let c = s.[i] in
+      if quoted then
+        if c = '"' then
+          if i + 1 < n && s.[i + 1] = '"' then begin
+            Buffer.add_char field '"';
+            go (i + 2) ~quoted:true
+          end
+          else go (i + 1) ~quoted:false
+        else begin
+          Buffer.add_char field c;
+          go (i + 1) ~quoted:true
+        end
+      else
+        match c with
+        | '"' -> go (i + 1) ~quoted:true
+        | ',' ->
+          flush_field ();
+          go (i + 1) ~quoted:false
+        | '\n' ->
+          flush_row ();
+          go (i + 1) ~quoted:false
+        | c ->
+          Buffer.add_char field c;
+          go (i + 1) ~quoted:false
+  in
+  go 0 ~quoted:false;
+  List.rev !rows
+
+let test_csv_round_trip () =
+  let headers = [ "name"; "value" ] in
+  let rows =
+    [
+      [ "plain"; "1" ];
+      [ "has,comma"; "2" ];
+      [ "has\"quote"; "3" ];
+      [ "multi\nline"; "4" ];
+      [ "all,\"of\nit\""; "5" ];
+      [ ""; "" ];
+    ]
+  in
+  let t = Report.Table.create ~headers in
+  List.iter (Report.Table.add_row t) rows;
+  let parsed = parse_csv (Report.Table.to_csv t) in
+  Alcotest.(check (list (list string))) "round trip" (headers :: rows) parsed
+
 let test_cell_f () =
   Alcotest.(check string) "integer" "3" (Report.Table.cell_f 3.0);
   Alcotest.(check string) "small" "0.3500" (Report.Table.cell_f 0.35);
@@ -56,6 +118,7 @@ let suite =
     Alcotest.test_case "table render" `Quick test_table_render;
     Alcotest.test_case "table width check" `Quick test_table_width_mismatch;
     Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
+    Alcotest.test_case "csv quoting round-trip" `Quick test_csv_round_trip;
     Alcotest.test_case "cell formatting" `Quick test_cell_f;
     Alcotest.test_case "bar scaling" `Quick test_bar_scaling;
     Alcotest.test_case "grouped bars" `Quick test_grouped_bars;

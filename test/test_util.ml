@@ -86,6 +86,33 @@ let test_stats_percentile () =
   checkf "p50" 30.0 (Util.Stats.percentile xs 50.0);
   checkf "p25" 20.0 (Util.Stats.percentile xs 25.0)
 
+let test_stats_percentile_edges () =
+  (* Single-sample arrays: every percentile is the sample. *)
+  checkf "single p0" 7.0 (Util.Stats.percentile [| 7.0 |] 0.0);
+  checkf "single p50" 7.0 (Util.Stats.percentile [| 7.0 |] 50.0);
+  checkf "single p100" 7.0 (Util.Stats.percentile [| 7.0 |] 100.0);
+  (* p=0/p=100 pin to the extremes even on unsorted input. *)
+  let xs = [| 42.0; -3.0; 17.0 |] in
+  checkf "p0 = min" (-3.0) (Util.Stats.percentile xs 0.0);
+  checkf "p100 = max" 42.0 (Util.Stats.percentile xs 100.0);
+  Alcotest.check_raises "p out of range" (Invalid_argument "Stats.percentile: p out of range")
+    (fun () -> ignore (Util.Stats.percentile xs 100.1));
+  Alcotest.check_raises "negative p" (Invalid_argument "Stats.percentile: p out of range")
+    (fun () -> ignore (Util.Stats.percentile xs (-0.1)))
+
+let test_stats_online_small_n () =
+  let o = Util.Stats.Online.create () in
+  Alcotest.(check int) "empty count" 0 (Util.Stats.Online.count o);
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.Online.mean: empty") (fun () ->
+      ignore (Util.Stats.Online.mean o));
+  Alcotest.check_raises "empty variance" (Invalid_argument "Stats.Online.variance: empty")
+    (fun () -> ignore (Util.Stats.Online.variance o));
+  Util.Stats.Online.add o 5.0;
+  (* n = 1: mean is the sample, population stddev is zero. *)
+  checkf "n=1 mean" 5.0 (Util.Stats.Online.mean o);
+  checkf "n=1 variance" 0.0 (Util.Stats.Online.variance o);
+  checkf "n=1 stddev" 0.0 (Util.Stats.Online.stddev o)
+
 let test_stats_errors () =
   Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty sample") (fun () ->
       ignore (Util.Stats.mean [||]));
@@ -138,6 +165,8 @@ let suite =
     Alcotest.test_case "rng permutation" `Quick test_permutation_is_permutation;
     Alcotest.test_case "stats basics" `Quick test_stats_basics;
     Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats percentile edges" `Quick test_stats_percentile_edges;
+    Alcotest.test_case "stats online small n" `Quick test_stats_online_small_n;
     Alcotest.test_case "stats error cases" `Quick test_stats_errors;
     Alcotest.test_case "stats online accumulator" `Quick test_stats_online;
     Alcotest.test_case "unit conversions" `Quick test_units;

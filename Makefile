@@ -1,4 +1,4 @@
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench sampling-smoke clean
 
 all: build
 
@@ -14,6 +14,17 @@ check:
 
 bench:
 	dune exec bench/main.exe
+
+# CI smoke for the sampled-simulation engine: re-run each workload in
+# results/sampling-reference.csv under the default sampled policy and
+# fail if the estimate drifts more than 10% from the checked-in full-run
+# cycle count.
+sampling-smoke: build
+	@tail -n +2 results/sampling-reference.csv | while IFS=, read -r kernel platform scale cycles; do \
+		dune exec bin/simbridge_cli.exe -- workload $$kernel --platform $$platform \
+			--scale $$scale --sample default --expect-cycles $$cycles --tolerance 0.10 \
+			|| exit 1; \
+	done
 
 clean:
 	dune clean

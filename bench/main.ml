@@ -21,6 +21,35 @@ let run_experiment id =
     Printf.eprintf "unknown experiment %s\n" id;
     exit 1
 
+(* ------------------------------------------------------ sampling gate *)
+
+(* `bench/main.exe sampling` is the sampling engine's acceptance gate
+   (distinct from the informational `sampling` registry entry): it
+   regenerates fig1 full and sampled under the default policy/budget and
+   fails unless every kernel's relative speedup lands within 5% of the
+   full-run value at a >= 5x host wall-clock speedup.  fig2 runs under
+   the same policy and is reported for context. *)
+let run_sampling_gate () =
+  let module E = Simbridge.Experiments in
+  let t0 = Unix.gettimeofday () in
+  let e1 = E.sampling_eval_fig1 () in
+  print_string (E.render_sampling_eval e1);
+  let bad = List.filter (fun (r : E.sampling_row) -> r.E.sr_rel_err > 0.05) e1.E.se_rows in
+  List.iter
+    (fun (r : E.sampling_row) ->
+      Printf.printf "FAIL %s / %s: sampled rel %.4f vs full %.4f (%.2f%% > 5%%)\n" r.E.sr_series
+        r.E.sr_kernel r.E.sr_sampled r.E.sr_full
+        (100.0 *. r.E.sr_rel_err))
+    bad;
+  if e1.E.se_speedup < 5.0 then
+    Printf.printf "FAIL fig1 wall-clock speedup %.1fx < 5x\n" e1.E.se_speedup;
+  let e2 = E.sampling_eval_fig2 () in
+  print_string (E.render_sampling_eval e2);
+  Printf.printf "(sampling gate ran in %.1f s)\n%!" (Unix.gettimeofday () -. t0);
+  if bad <> [] || e1.E.se_speedup < 5.0 then exit 1;
+  Printf.printf "sampling gate: PASS (fig1 max rel err %.2f%% <= 5%%, speedup %.1fx >= 5x)\n%!"
+    (100.0 *. e1.E.se_max_rel_err) e1.E.se_speedup
+
 (* ----------------------------------------------------------- bechamel *)
 
 let staged = Bechamel.Staged.stage
@@ -129,7 +158,8 @@ let () =
     List.iter (fun (id, _, _) -> run_experiment id) Simbridge.Experiments.all;
     run_bechamel ()
   | [ _; "bechamel" ] -> run_bechamel ()
+  | [ _; "sampling" ] -> run_sampling_gate ()
   | [ _; id ] -> run_experiment id
   | _ ->
-    prerr_endline "usage: main.exe [experiment-id | bechamel]";
+    prerr_endline "usage: main.exe [experiment-id | bechamel | sampling]";
     exit 1

@@ -25,8 +25,9 @@ let list_experiments () =
     (fun (id, descr, _) -> Format.printf "%-12s %s@." id descr)
     Simbridge.Experiments.all
 
-let run_experiment verbose id =
+let run_experiment verbose seed id =
   setup_logs verbose;
+  Util.Rng.set_global_seed seed;
   if id = "all" then
     List.iter
       (fun (id, _, render) ->
@@ -80,8 +81,36 @@ let print_result (r : Platform.Soc.result) =
     Format.printf "MPI messages  : %d (%d bytes), %d collectives@." c.Smpi.messages c.Smpi.bytes_moved
       c.Smpi.collectives
 
-let run_workload verbose name platform ranks scale telemetry_dir =
+(* Smoke check (--expect-cycles): compare the run's estimated cycles to a
+   checked-in full-run reference and fail loudly when they diverge — the
+   CI `sampling-smoke` step drives this. *)
+let smoke_check ~tolerance ~reference (est : Sampling.Estimate.t) =
+  let c = Sampling.Accuracy.compare ~full_cycles:reference est in
+  if Sampling.Accuracy.within_tolerance ~tol:tolerance c then
+    Format.printf "smoke check   : OK, %.2f%% from reference %d (tolerance %.0f%%)@."
+      (100.0 *. c.Sampling.Accuracy.rel_err) reference (100.0 *. tolerance)
+  else begin
+    Format.eprintf "smoke check   : FAIL, estimate %d vs reference %d is %.2f%% off (> %.0f%%)@."
+      est.Sampling.Estimate.est_cycles reference
+      (100.0 *. c.Sampling.Accuracy.rel_err)
+      (100.0 *. tolerance);
+    exit 1
+  end
+
+let run_workload verbose name platform ranks scale telemetry_dir seed sample budget expect_cycles
+    tolerance =
   setup_logs verbose;
+  Util.Rng.set_global_seed seed;
+  let policy =
+    match sample with
+    | None -> Sampling.Policy.Full
+    | Some spec -> (
+      match Sampling.Policy.of_string spec with
+      | Ok p -> p
+      | Error e ->
+        Format.eprintf "bad --sample spec %S: %s@." spec e;
+        exit 1)
+  in
   let config =
     try Platform.Catalog.find platform
     with Not_found ->
@@ -101,9 +130,23 @@ let run_workload verbose name platform ranks scale telemetry_dir =
   let kernel = try Some (Workloads.Microbench.find name) with Not_found -> None in
   (match kernel with
   | Some k ->
-    let r = Simbridge.Runner.run_kernel ~scale ~telemetry:reg config k in
-    print_result r
+    let t = Simbridge.Runner.run_kernel_timed ~scale ~telemetry:reg ~policy ?budget config k in
+    print_result t.Simbridge.Runner.result;
+    Format.printf "host wall     : setup %.4f s + measure %.4f s@." t.Simbridge.Runner.setup_wall_s
+      t.Simbridge.Runner.measure_wall_s;
+    (match policy with
+    | Sampling.Policy.Full -> ()
+    | Sampling.Policy.Sampled _ ->
+      List.iter (fun l -> Format.printf "%s@." l) (Sampling.Report.lines t.Simbridge.Runner.estimate));
+    (match expect_cycles with
+    | None -> ()
+    | Some reference -> smoke_check ~tolerance ~reference t.Simbridge.Runner.estimate)
   | None ->
+    (match (policy, expect_cycles) with
+    | Sampling.Policy.Sampled _, _ | _, Some _ ->
+      Format.eprintf "--sample/--expect-cycles apply to microbench kernels only@.";
+      exit 1
+    | Sampling.Policy.Full, None -> ());
     let apps =
       Workloads.Npb.all @ [ Workloads.Ume.app; Workloads.Lammps.lj; Workloads.Lammps.chain ]
     in
@@ -234,6 +277,14 @@ let scale_arg =
 
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log each simulation run.")
 
+let seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "seed" ]
+        ~doc:
+          "Global seed override: re-keys every baked-in workload RNG stream deterministically. 0 \
+           (default) keeps the historical fixed-seed streams.")
+
 let platforms_cmd =
   Cmd.v (Cmd.info "platforms" ~doc:"List the platform catalog")
     Term.(const list_platforms $ const ())
@@ -245,7 +296,7 @@ let experiments_cmd =
 let run_cmd =
   let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT") in
   Cmd.v (Cmd.info "run" ~doc:"Regenerate a table or figure (or 'all')")
-    Term.(const run_experiment $ verbose_arg $ id)
+    Term.(const run_experiment $ verbose_arg $ seed_arg $ id)
 
 let csv_cmd =
   let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE") in
@@ -267,8 +318,46 @@ let workload_cmd =
     Arg.(value & opt string "banana-pi-sim" & info [ "platform"; "p" ] ~doc:"Platform name.")
   in
   let ranks = Arg.(value & opt int 1 & info [ "ranks"; "n" ] ~doc:"MPI ranks (apps only).") in
+  let sample =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sample" ]
+          ~doc:
+            "Sampling policy for microbench kernels: $(b,full), $(b,default), or \
+             $(b,interval=N,detail=N,warmup=N) (any subset of keys). Prints the error-bounded \
+             estimate breakdown alongside the result."
+          ~docv:"SPEC")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ]
+          ~doc:
+            "Stop traversing the measured stream after $(docv) instructions and extrapolate from \
+             the intervals seen so far (sampled runs only)."
+          ~docv:"INSNS")
+  in
+  let expect_cycles =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "expect-cycles" ]
+          ~doc:
+            "Smoke check: exit nonzero unless the run's (estimated) cycle count is within \
+             $(b,--tolerance) of $(docv) — used by CI against a checked-in full-run reference."
+          ~docv:"CYCLES")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 0.10
+      & info [ "tolerance" ] ~doc:"Relative tolerance for --expect-cycles (default 0.10).")
+  in
   Cmd.v (Cmd.info "workload" ~doc:"Run one workload on one platform")
-    Term.(const run_workload $ verbose_arg $ wname $ platform $ ranks $ scale_arg $ telemetry_arg)
+    Term.(
+      const run_workload $ verbose_arg $ wname $ platform $ ranks $ scale_arg $ telemetry_arg
+      $ seed_arg $ sample $ budget $ expect_cycles $ tolerance)
 
 let tune_cmd =
   let target = Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET") in

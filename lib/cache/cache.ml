@@ -40,6 +40,7 @@ type next_level = cycle:int -> addr:int -> write:bool -> int
 
 type t = {
   cfg : config;
+  line_shift : int;  (* log2 line, precomputed off the hot path *)
   tags : int array;  (* sets*ways, -1 = invalid; stores line address *)
   last_use : int array;  (* monotone use counter per way *)
   dirty : bool array;
@@ -60,9 +61,14 @@ type t = {
   mutable s_prefetches : int;
 }
 
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
 let create cfg =
   {
     cfg;
+    line_shift = log2 cfg.line;
     tags = Array.make (cfg.sets * cfg.ways) (-1);
     last_use = Array.make (cfg.sets * cfg.ways) 0;
     dirty = Array.make (cfg.sets * cfg.ways) false;
@@ -85,16 +91,12 @@ let create cfg =
 
 let line_addr t addr = addr land lnot (t.cfg.line - 1)
 
-let log2 n =
-  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
-  go 0 n
-
 let set_of t addr =
-  let line = addr lsr log2 t.cfg.line in
+  let line = addr lsr t.line_shift in
   line land (t.cfg.sets - 1)
 
 let bank_of t addr =
-  let line = addr lsr log2 t.cfg.line in
+  let line = addr lsr t.line_shift in
   line land (t.cfg.banks - 1)
 
 let find_way t set line =
@@ -221,6 +223,74 @@ let access ?(prefetchable = true) t ~next ~cycle ~addr ~write =
         prefetch_line t (line + (k * t.cfg.line)) ~cycle:(issue + t.cfg.hit_latency) ~next
       done;
     fill_done
+  end
+
+(* Content-only access for functional warming: the same tag / LRU / dirty /
+   stream-table / prefetch state transitions as [access] — so detailed
+   simulation resumes against the cache contents a full run would have —
+   with none of the latency bookkeeping (banks, MSHRs, fill timestamps).
+   Warmed fills get [fill_done = 0]: their refill is long past by the time
+   a detailed interval can hit them. *)
+type warm_next = addr:int -> write:bool -> unit
+
+let rec warm_install t set line ~dirty ~prefetched ~(next : warm_next) =
+  let victim = victim_way t set in
+  if t.tags.(victim) <> -1 then begin
+    t.s_evictions <- t.s_evictions + 1;
+    if t.dirty.(victim) && t.cfg.write_back then begin
+      t.s_writebacks <- t.s_writebacks + 1;
+      next ~addr:t.tags.(victim) ~write:true
+    end
+  end;
+  t.tags.(victim) <- line;
+  t.dirty.(victim) <- dirty;
+  t.fill_done.(victim) <- 0;
+  t.pref_tag.(victim) <- prefetched;
+  touch t victim
+
+and warm_prefetch_line t line ~(next : warm_next) =
+  let set = set_of t line in
+  if find_way t set line < 0 then begin
+    t.s_prefetches <- t.s_prefetches + 1;
+    next ~addr:line ~write:false;
+    warm_install t set line ~dirty:false ~prefetched:true ~next
+  end
+
+let warm_access ?(prefetchable = true) t ~(next : warm_next) ~addr ~write =
+  t.s_accesses <- t.s_accesses + 1;
+  let line = line_addr t addr in
+  let set = set_of t addr in
+  let slot = find_way t set line in
+  if slot >= 0 then begin
+    t.s_hits <- t.s_hits + 1;
+    touch t slot;
+    if write then t.dirty.(slot) <- true;
+    if t.pref_tag.(slot) then begin
+      t.pref_tag.(slot) <- false;
+      if t.cfg.prefetch_next > 0 then
+        warm_prefetch_line t (line + (t.cfg.prefetch_next * t.cfg.line)) ~next
+    end
+  end
+  else begin
+    t.s_misses <- t.s_misses + 1;
+    let sequential =
+      prefetchable
+      &&
+      let rec find i = i < Array.length t.streams && (t.streams.(i) = line || find (i + 1)) in
+      find 0
+    in
+    (if sequential then
+       Array.iteri (fun i e -> if e = line then t.streams.(i) <- line + t.cfg.line) t.streams
+     else if prefetchable then begin
+       t.streams.(t.stream_rr) <- line + t.cfg.line;
+       t.stream_rr <- (t.stream_rr + 1) mod Array.length t.streams
+     end);
+    next ~addr:line ~write:false;
+    warm_install t set line ~dirty:(write && t.cfg.write_back) ~prefetched:false ~next;
+    if t.cfg.prefetch_next > 0 && sequential then
+      for k = 1 to t.cfg.prefetch_next do
+        warm_prefetch_line t (line + (k * t.cfg.line)) ~next
+      done
   end
 
 let probe t ~addr =

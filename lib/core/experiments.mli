@@ -29,12 +29,55 @@ val table3 : unit -> string
 val table4 : unit -> string
 val table5 : unit -> string
 
-val fig1 : ?scale:float -> unit -> figure
-(** MicroBench on Banana Pi Sim Model and Fast model vs Banana Pi HW. *)
+val fig1 : ?scale:float -> ?policy:Sampling.Policy.t -> ?budget:int -> unit -> figure
+(** MicroBench on Banana Pi Sim Model and Fast model vs Banana Pi HW.
+    [policy] (default [Full]) and [budget] select the sampled fast path
+    (see {!Runner.run_kernel_timed}). *)
 
-val fig2 : ?scale:float -> unit -> figure
+val fig2 : ?scale:float -> ?policy:Sampling.Policy.t -> ?budget:int -> unit -> figure
 (** MicroBench on Small/Medium/Large BOOM and MILK-V Sim Model vs MILK-V
     HW. *)
+
+(** {2 Sampled-vs-full evaluation}
+
+    Runs a microbench figure twice — full detail and sampled under a
+    traversal budget — and compares every kernel's relative speedup plus
+    the total host wall-clock.  This is the acceptance harness for the
+    sampling engine (bench target [sampling], CI smoke).
+
+    The default scale is 8 (not the headline figures' 1): sampling's
+    wall-clock win is a long-stream property — the sampled side's work is
+    capped by the budget while the full run grows with the stream. *)
+
+type sampling_row = {
+  sr_series : string;  (** simulation-model platform name *)
+  sr_kernel : string;
+  sr_full : float;  (** full-run relative speedup *)
+  sr_sampled : float;  (** sampled (budget-limited) relative speedup *)
+  sr_rel_err : float;  (** |sampled - full| / full *)
+}
+
+type sampling_eval = {
+  se_id : string;
+  se_policy : Sampling.Policy.t;
+  se_budget : int;
+  se_rows : sampling_row list;
+  se_wall_full_s : float;
+  se_wall_sampled_s : float;
+  se_max_rel_err : float;
+  se_speedup : float;  (** host wall-clock ratio: full / sampled *)
+}
+
+val sampling_eval_fig1 :
+  ?scale:float -> ?policy:Sampling.Policy.t -> ?budget:int -> unit -> sampling_eval
+
+val sampling_eval_fig2 :
+  ?scale:float -> ?policy:Sampling.Policy.t -> ?budget:int -> unit -> sampling_eval
+
+val render_sampling_eval : sampling_eval -> string
+
+val sampling_report : ?scale:float -> unit -> string
+(** The [sampling] registry entry: both evaluations rendered. *)
 
 val fig3 : ?scale:float -> unit -> figure list
 (** NPB on the Rocket-family configs vs Banana Pi HW; [single; four]. *)

@@ -9,6 +9,30 @@
     so that 1.0 is a perfect match and 1.2 means the simulation ran 20%
     faster than the hardware (the paper's convention, §5). *)
 
+type timed = {
+  result : Platform.Soc.result;  (** measured region; [cycles] from the estimate *)
+  estimate : Sampling.Estimate.t;  (** exact for [Full], error-bounded otherwise *)
+  setup_wall_s : float;  (** host wall-clock spent in the setup phase *)
+  measure_wall_s : float;  (** host wall-clock spent in the measured phase *)
+}
+
+val run_kernel_timed :
+  ?scale:float ->
+  ?telemetry:Telemetry.Registry.t ->
+  ?policy:Sampling.Policy.t ->
+  ?budget:int ->
+  Platform.Config.t ->
+  Workloads.Workload.kernel ->
+  timed
+(** {!run_kernel} generalized with a sampling policy (default [Full]) and
+    an optional traversal budget (see {!Sampling.Engine.run}), reporting
+    per-phase host wall-clock time alongside the result.  The kernel's
+    setup stream always runs in full detail; only the measured stream is
+    sampled.  With a sampled policy the result's [cycles]/[seconds] are
+    the extrapolated estimate and memory-hierarchy counters still cover
+    the whole stream (functional warming touches caches and TLBs), but
+    core-retire counters cover only the detailed intervals. *)
+
 val run_kernel :
   ?scale:float ->
   ?telemetry:Telemetry.Registry.t ->
@@ -41,10 +65,16 @@ val relative_speedup : sim:Platform.Soc.result -> hw:Platform.Soc.result -> floa
 
 val kernel_relative :
   ?scale:float ->
+  ?policy:Sampling.Policy.t ->
+  ?budget:int ->
   sim:Platform.Config.t ->
   hw:Platform.Config.t ->
   Workloads.Workload.kernel ->
   float
+(** With a sampled [policy] (and/or [budget]) both sides run under the
+    identical schedule and stop at the identical stream position, so the
+    ratio of estimated times is directly comparable to the full-run
+    relative speedup. *)
 
 val app_relative :
   ?scale:float ->

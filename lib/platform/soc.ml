@@ -63,9 +63,24 @@ let l2_path soc ~prefetchable =
     let c = Interconnect.Bus.transfer soc.bus ~cycle ~bytes:line in
     Cache.access ~prefetchable soc.l2 ~next ~cycle:c ~addr ~write
 
+(* Content-only (functional-warming) twin of the downstream path: same
+   cache-content transitions, no bus/DRAM timing.  DRAM carries no content
+   state, so the chain bottoms out in a no-op. *)
+let warm_downstream soc : Cache.warm_next =
+  match soc.llc with
+  | None -> fun ~addr:_ ~write:_ -> ()
+  | Some llc ->
+    fun ~addr ~write -> Cache.warm_access llc ~next:(fun ~addr:_ ~write:_ -> ()) ~addr ~write
+
+let warm_l2_path soc ~prefetchable : Cache.warm_next =
+  let next = warm_downstream soc in
+  fun ~addr ~write -> Cache.warm_access ~prefetchable soc.l2 ~next ~addr ~write
+
 let memsys_for soc i =
   let l2d = l2_path soc ~prefetchable:true in
   let l2i = l2_path soc ~prefetchable:false in
+  let wl2d = warm_l2_path soc ~prefetchable:true in
+  let wl2i = warm_l2_path soc ~prefetchable:false in
   let l1d = soc.l1d.(i) in
   let l1i = soc.l1i.(i) in
   let dtlb = soc.dtlb.(i) in
@@ -83,6 +98,18 @@ let memsys_for soc i =
       (fun ~cycle ~pc ->
         let cycle = cycle + Tlb.translate itlb ~addr:pc in
         Cache.access l1i ~next:l2i ~cycle ~addr:pc ~write:false);
+    warm_load =
+      (fun ~addr ~size:_ ->
+        ignore (Tlb.translate dtlb ~addr);
+        Cache.warm_access l1d ~next:wl2d ~addr ~write:false);
+    warm_store =
+      (fun ~addr ~size:_ ->
+        ignore (Tlb.translate dtlb ~addr);
+        Cache.warm_access l1d ~next:wl2d ~addr ~write:true);
+    warm_ifetch =
+      (fun ~pc ->
+        ignore (Tlb.translate itlb ~addr:pc);
+        Cache.warm_access l1i ~next:wl2i ~addr:pc ~write:false);
   }
 
 let create (cfg : Config.t) =
@@ -314,6 +341,11 @@ let run_stream soc stream =
   | In c -> Uarch.Inorder.run c stream
   | Oo c -> Uarch.Ooo.run c stream);
   collect soc ~ranks:1 ~comm:None
+
+let warm_insn soc insn =
+  match soc.cores.(0) with
+  | In c -> Uarch.Inorder.warm c insn
+  | Oo c -> Uarch.Ooo.warm c insn
 
 let memsys_of_core soc i = memsys_for soc i
 

@@ -56,6 +56,12 @@ val counters : t -> (string * int) list
 val run_stream : t -> Isa.Insn.t Seq.t -> result
 (** Run a single instruction stream on core 0. *)
 
+val warm_insn : t -> Isa.Insn.t -> unit
+(** Functionally warm core 0 with one instruction: caches, TLBs, and
+    branch predictor state advance, pipeline timing and retired counts do
+    not (see {!Uarch.Inorder.warm}).  The sampled-simulation engine uses
+    this between detailed intervals. *)
+
 val memsys_of_core : t -> int -> Uarch.Memsys.t
 (** Expose a core's memory-system interface (for tests and calibration). *)
 

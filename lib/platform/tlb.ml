@@ -29,63 +29,84 @@ type stats = {
 
 type t = {
   cfg : config;
+  shift : int;  (* log2 page_bytes, precomputed off the hot path *)
   l1_pages : int array;  (* fully associative: page numbers, -1 invalid *)
   l1_use : int array;
   l2_pages : int array;  (* direct mapped *)
   mutable clock : int;
+  mutable last_page : int;  (* MRU shortcut past the associative scan *)
+  mutable last_slot : int;
   mutable s_accesses : int;
   mutable s_l1_misses : int;
   mutable s_walks : int;
 }
 
+let page_shift cfg =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 cfg.page_bytes
+
 let create cfg =
   {
     cfg;
+    shift = page_shift cfg;
     l1_pages = Array.make cfg.l1_entries (-1);
     l1_use = Array.make cfg.l1_entries 0;
     l2_pages = Array.make (max 1 cfg.l2_entries) (-1);
     clock = 0;
+    last_page = -1;
+    last_slot = 0;
     s_accesses = 0;
     s_l1_misses = 0;
     s_walks = 0;
   }
 
-let page_shift cfg =
-  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
-  go 0 cfg.page_bytes
-
 let translate t ~addr =
   t.s_accesses <- t.s_accesses + 1;
   t.clock <- t.clock + 1;
-  let page = addr lsr page_shift t.cfg in
-  (* Fully associative L1 lookup. *)
-  let rec find i = if i >= t.cfg.l1_entries then -1 else if t.l1_pages.(i) = page then i else find (i + 1) in
-  let slot = find 0 in
-  if slot >= 0 then begin
-    t.l1_use.(slot) <- t.clock;
+  let page = addr lsr t.shift in
+  (* MRU shortcut: page numbers are unique in L1 (installed only on miss),
+     so hitting the remembered slot is exactly what the scan would find —
+     same LRU update, same latency, just without the scan. *)
+  if page = t.last_page && t.l1_pages.(t.last_slot) = page then begin
+    t.l1_use.(t.last_slot) <- t.clock;
     0
   end
   else begin
-    t.s_l1_misses <- t.s_l1_misses + 1;
-    (* LRU victim in L1. *)
-    let victim = ref 0 in
-    for i = 1 to t.cfg.l1_entries - 1 do
-      if t.l1_use.(i) < t.l1_use.(!victim) then victim := i
-    done;
-    t.l1_pages.(!victim) <- page;
-    t.l1_use.(!victim) <- t.clock;
-    if t.cfg.l2_entries > 0 then begin
-      let idx = page land (t.cfg.l2_entries - 1) in
-      if t.l2_pages.(idx) = page then t.cfg.l2_latency
-      else begin
-        t.s_walks <- t.s_walks + 1;
-        t.l2_pages.(idx) <- page;
-        t.cfg.walk_latency
-      end
+    (* Fully associative L1 lookup. *)
+    let rec find i =
+      if i >= t.cfg.l1_entries then -1 else if t.l1_pages.(i) = page then i else find (i + 1)
+    in
+    let slot = find 0 in
+    if slot >= 0 then begin
+      t.l1_use.(slot) <- t.clock;
+      t.last_page <- page;
+      t.last_slot <- slot;
+      0
     end
     else begin
-      t.s_walks <- t.s_walks + 1;
-      t.cfg.walk_latency
+      t.s_l1_misses <- t.s_l1_misses + 1;
+      (* LRU victim in L1. *)
+      let victim = ref 0 in
+      for i = 1 to t.cfg.l1_entries - 1 do
+        if t.l1_use.(i) < t.l1_use.(!victim) then victim := i
+      done;
+      t.l1_pages.(!victim) <- page;
+      t.l1_use.(!victim) <- t.clock;
+      t.last_page <- page;
+      t.last_slot <- !victim;
+      if t.cfg.l2_entries > 0 then begin
+        let idx = page land (t.cfg.l2_entries - 1) in
+        if t.l2_pages.(idx) = page then t.cfg.l2_latency
+        else begin
+          t.s_walks <- t.s_walks + 1;
+          t.l2_pages.(idx) <- page;
+          t.cfg.walk_latency
+        end
+      end
+      else begin
+        t.s_walks <- t.s_walks + 1;
+        t.cfg.walk_latency
+      end
     end
   end
 

@@ -11,8 +11,10 @@ let chase rng ~base ~bytes ~stride =
   (* Random Hamiltonian cycle: visit nodes in a random permutation; the
      emission just replays the permutation cyclically.  The dependence
      chain (each address loaded from the previous node) is expressed by the
-     kernel through registers. *)
-  let order = Util.Rng.permutation rng nodes in
+     kernel through registers.  The permutation is memoized on the
+     generator state, so replaying the same seeded chase on another
+     platform reuses the array instead of re-shuffling. *)
+  let order = Util.Rng.shared_permutation rng nodes in
   fun pos -> base + (order.(pos mod nodes) * stride)
 
 let random_in ~seed ~base ~bytes ~align =
@@ -24,6 +26,7 @@ let random_in ~seed ~base ~bytes ~align =
     Int64.(logxor z (shift_right_logical z 31))
   in
   fun pos ->
+    let seed = Util.Rng.salted seed in
     let h = mix (Int64.add (Int64.of_int seed) (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (pos + 1)))) in
     let slot = Int64.to_int (Int64.rem (Int64.logand h Int64.max_int) (Int64.of_int slots)) in
     base + (slot * align)

@@ -13,6 +13,7 @@ let hash01 seed pos =
     let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
     Int64.(logxor z (shift_right_logical z 31))
   in
+  let seed = Util.Rng.salted seed in
   let h = mix (Int64.add (Int64.of_int seed) (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (pos + 1)))) in
   Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0
 

@@ -1,0 +1,32 @@
+(* Sampled-vs-full comparison: the acceptance arithmetic shared by the
+   bench target, the tests, and the CI smoke check. *)
+
+type comparison = {
+  full_cycles : int;
+  est : Estimate.t;
+  rel_err : float;  (** |est - full| / full *)
+  within_ci : bool;  (** full lies inside est +- ci95 *)
+}
+
+let compare ~full_cycles est =
+  let rel_err =
+    if full_cycles = 0 then if est.Estimate.est_cycles = 0 then 0.0 else infinity
+    else
+      Float.abs (float_of_int (est.Estimate.est_cycles - full_cycles))
+      /. float_of_int full_cycles
+  in
+  let within_ci =
+    Float.abs (float_of_int (est.Estimate.est_cycles - full_cycles)) <= est.Estimate.ci95_cycles
+  in
+  { full_cycles; est; rel_err; within_ci }
+
+let within_tolerance ~tol c = c.rel_err <= tol
+
+(* Relative-speedup error between two platform estimates: how far the
+   sampled CPI ratio drifts from the full-run CPI ratio.  CPI ratios are
+   insensitive to traversal budgets (same stream prefix on both sides), so
+   this is the figure-regeneration acceptance metric. *)
+let speedup_rel_err ~full_a ~full_b est_a est_b =
+  let full_ratio = float_of_int full_a /. float_of_int full_b in
+  let est_ratio = Estimate.cpi est_a /. Estimate.cpi est_b in
+  Float.abs (est_ratio -. full_ratio) /. full_ratio

@@ -1,0 +1,19 @@
+(** Sampled-vs-full accuracy arithmetic, shared by the bench target, the
+    tests, and the CI smoke check. *)
+
+type comparison = {
+  full_cycles : int;  (** reference full-run cycle count *)
+  est : Estimate.t;
+  rel_err : float;  (** |est_cycles - full_cycles| / full_cycles *)
+  within_ci : bool;  (** full_cycles lies inside est +- ci95 *)
+}
+
+val compare : full_cycles:int -> Estimate.t -> comparison
+
+val within_tolerance : tol:float -> comparison -> bool
+(** [rel_err <= tol]. *)
+
+val speedup_rel_err : full_a:int -> full_b:int -> Estimate.t -> Estimate.t -> float
+(** Relative error of the estimated platform-A/platform-B CPI ratio
+    against the full-run cycle ratio [full_a /. full_b] over the same
+    stream.  Both estimates must cover the same stream prefix. *)

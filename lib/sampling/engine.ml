@@ -1,0 +1,177 @@
+(* The sampled-simulation engine: one pass over the instruction stream,
+   dispatching every instruction to the detailed timing model or the
+   functional-warming fast path according to the policy's interval
+   schedule, accumulating per-interval CPI samples as it goes. *)
+
+type core = {
+  feed : Isa.Insn.t -> unit;  (** detailed timing step *)
+  warm : Isa.Insn.t -> unit;  (** functional-warming step *)
+  now : unit -> int;  (** completion frontier, cycles *)
+}
+
+exception Budget_reached
+
+let run ?(telemetry = Telemetry.Registry.disabled) ?budget ~policy core stream =
+  Policy.validate policy;
+  (match budget with
+  | Some b when b <= 0 -> invalid_arg "Sampling.Engine.run: budget must be positive"
+  | _ -> ());
+  match policy with
+  | Policy.Full ->
+    let c0 = core.now () in
+    let n = ref 0 in
+    let stop = match budget with Some b -> b | None -> max_int in
+    let complete = ref true in
+    (try
+       Seq.iter
+         (fun insn ->
+           incr n;
+           core.feed insn;
+           if !n >= stop then begin
+             complete := false;
+             raise Budget_reached
+           end)
+         stream
+     with Budget_reached -> ());
+    let e = Estimate.exact ~policy ~cycles:(core.now () - c0) ~insns:!n in
+    { e with Estimate.complete = !complete }
+  | Policy.Sampled { interval; detail_every; warmup } ->
+    let stats = Util.Stats.Online.create () in
+    let pos = ref 0 in
+    let detailed_insns = ref 0 and warmup_insns = ref 0 and warmed_insns = ref 0 in
+    let measured_cycles = ref 0 and warmup_cycles = ref 0 in
+    let intervals_detailed = ref 0 and intervals_warmed = ref 0 in
+    let last_warmed_interval = ref (-1) in
+    (* Per-stratum accounting (a stratum = detail_every consecutive
+       intervals holding one detailed sample): each stratum's warmed
+       instructions are extrapolated by its own sample's CPI, so a phase
+       change in the stream costs at most one stratum of error instead of
+       reweighting the whole estimate.  Strata whose sample never closed
+       (budget cut, stream end) fall back to the global mean. *)
+    let stratum_warmed : (int, int ref) Hashtbl.t = Hashtbl.create 64 in
+    let stratum_cpi : (int, float) Hashtbl.t = Hashtbl.create 64 in
+    (* The schedule is piecewise constant, so the hot loop only compares the
+       position against the current segment's end; the mode and boundary are
+       recomputed a handful of times per interval, not per instruction.
+       [seg_until] starts at 0 to force the first open_segment. *)
+    let seg_mode = ref Interval.Warming in
+    let seg_interval = ref (-1) in
+    let seg_start = ref 0 in
+    let seg_insns = ref 0 in
+    let seg_until = ref 0 in
+    let close_segment () =
+      if !seg_insns > 0 then begin
+        let delta = core.now () - !seg_start in
+        match !seg_mode with
+        | Interval.Detailed ->
+          measured_cycles := !measured_cycles + delta;
+          incr intervals_detailed;
+          let cpi = float_of_int delta /. float_of_int !seg_insns in
+          Util.Stats.Online.add stats cpi;
+          Hashtbl.replace stratum_cpi (!seg_interval / detail_every) cpi
+        | Interval.Warmup -> warmup_cycles := !warmup_cycles + delta
+        | Interval.Warming -> (
+          let stratum = !seg_interval / detail_every in
+          match Hashtbl.find_opt stratum_warmed stratum with
+          | Some r -> r := !r + !seg_insns
+          | None -> Hashtbl.add stratum_warmed stratum (ref !seg_insns))
+      end;
+      seg_insns := 0
+    in
+    let open_segment p =
+      let idx = p / interval in
+      let iend = (idx + 1) * interval in
+      let mode, until =
+        if idx = 0 then (Interval.Warmup, iend)
+        else if Interval.detailed ~detail_every idx then (Interval.Detailed, iend)
+        else if Interval.detailed ~detail_every (idx + 1) then
+          if p >= iend - warmup then (Interval.Warmup, iend)
+          else (Interval.Warming, iend - warmup)
+        else (Interval.Warming, iend)
+      in
+      seg_mode := mode;
+      seg_interval := idx;
+      seg_start := core.now ();
+      seg_until := until;
+      if mode = Interval.Warming && idx <> !last_warmed_interval then begin
+        last_warmed_interval := idx;
+        incr intervals_warmed
+      end
+    in
+    (* Stop at the first interval boundary on/after the budget, so the last
+       CPI sample covers a whole interval. *)
+    let stop =
+      match budget with
+      | None -> max_int
+      | Some b -> (b + interval - 1) / interval * interval
+    in
+    let complete = ref true in
+    (try
+       Seq.iter
+         (fun insn ->
+           if !pos >= !seg_until then begin
+             close_segment ();
+             open_segment !pos
+           end;
+           (match !seg_mode with
+           | Interval.Detailed ->
+             incr detailed_insns;
+             core.feed insn
+           | Interval.Warmup ->
+             incr warmup_insns;
+             core.feed insn
+           | Interval.Warming ->
+             incr warmed_insns;
+             core.warm insn);
+           incr seg_insns;
+           incr pos;
+           if !pos = stop then begin
+             complete := false;
+             raise Budget_reached
+           end)
+         stream
+     with Budget_reached -> ());
+    close_segment ();
+    let mean_cpi =
+      if Util.Stats.Online.count stats = 0 then 0.0 else Util.Stats.Online.mean stats
+    in
+    let extrapolated =
+      Hashtbl.fold
+        (fun stratum warmed acc ->
+          let cpi =
+            match Hashtbl.find_opt stratum_cpi stratum with
+            | Some c -> c
+            | None -> mean_cpi
+          in
+          acc +. (cpi *. float_of_int !warmed))
+        stratum_warmed 0.0
+    in
+    let est =
+      Estimate.of_samples ~policy ~stats ~extrapolated ~total_insns:!pos
+        ~detailed_insns:!detailed_insns ~warmup_insns:!warmup_insns ~warmed_insns:!warmed_insns
+        ~measured_cycles:!measured_cycles ~warmup_cycles:!warmup_cycles
+        ~intervals_detailed:!intervals_detailed ~intervals_warmed:!intervals_warmed
+        ~complete:!complete
+    in
+    if Telemetry.Registry.enabled telemetry then
+      Telemetry.Registry.set_all telemetry
+        [
+          ("sampling.insns.total", est.Estimate.total_insns);
+          ("sampling.insns.detailed", est.Estimate.detailed_insns);
+          ("sampling.insns.warmup", est.Estimate.warmup_insns);
+          ("sampling.insns.warmed", est.Estimate.warmed_insns);
+          ("sampling.cycles.measured", est.Estimate.measured_cycles);
+          ("sampling.cycles.warmup", est.Estimate.warmup_cycles);
+          ("sampling.cycles.estimated", est.Estimate.est_cycles);
+          ( "sampling.cycles.extrapolated",
+            est.Estimate.est_cycles - est.Estimate.measured_cycles - est.Estimate.warmup_cycles );
+          ("sampling.intervals.detailed", est.Estimate.intervals_detailed);
+          ("sampling.intervals.warmed", est.Estimate.intervals_warmed);
+          (* Simulated-work speedup: instructions covered per detailed-mode
+             instruction, x100 (the wall-clock speedup this buys depends on
+             the warming path's relative cost; see the bench target). *)
+          ( "sampling.speedup_x100",
+            let detailed = est.Estimate.detailed_insns + est.Estimate.warmup_insns in
+            if detailed = 0 then 0 else est.Estimate.total_insns * 100 / detailed );
+        ];
+    est

@@ -1,0 +1,34 @@
+(** The sampled-simulation engine: drives an instruction stream through a
+    core in one pass, switching between detailed timing and functional
+    warming per the policy's interval schedule. *)
+
+type core = {
+  feed : Isa.Insn.t -> unit;
+      (** detailed timing step (e.g. {!Uarch.Inorder.feed} via
+          {!Platform.Soc.core_iface}) *)
+  warm : Isa.Insn.t -> unit;
+      (** functional-warming step: caches / TLBs / branch predictor only
+          (e.g. {!Platform.Soc.warm_insn}) *)
+  now : unit -> int;  (** completion frontier, cycles *)
+}
+
+val run :
+  ?telemetry:Telemetry.Registry.t ->
+  ?budget:int ->
+  policy:Policy.t ->
+  core ->
+  Isa.Insn.t Seq.t ->
+  Estimate.t
+(** [run ~policy core stream] traverses [stream], feeding each instruction
+    to [core.feed] (detailed intervals and warmup windows) or [core.warm]
+    (everything else), and returns the extrapolated cycle estimate.
+
+    [budget] stops traversal at the first interval boundary at or past
+    that many instructions; the estimate is then marked incomplete and its
+    {!Estimate.cpi} — not its absolute cycle count — is the comparable
+    figure.  With [policy = Full] the whole stream is fed in detail and
+    the estimate is exact.
+
+    When [telemetry] is a live registry, publishes ["sampling.*"] counters
+    (detailed vs warmed instruction and cycle split, interval counts, and
+    the achieved simulated-work speedup x100). *)

@@ -1,0 +1,72 @@
+type t =
+  | Full
+  | Sampled of {
+      interval : int;
+      detail_every : int;
+      warmup : int;
+    }
+
+let default_sampled = Sampled { interval = 500; detail_every = 7; warmup = 500 }
+
+(* The figure-regeneration fast path stops traversing after this many
+   instructions and extrapolates from the intervals seen so far (the
+   microbenchmarks are steady-state loops, so early intervals are
+   representative).  Estimates produced under a budget carry
+   [complete = false] and are meaningful through their CPI, not their
+   absolute cycle count. *)
+let default_budget = 160_000
+
+let validate = function
+  | Full -> ()
+  | Sampled { interval; detail_every; warmup } ->
+    if interval <= 0 then invalid_arg "Sampling.Policy: interval must be positive";
+    if detail_every <= 0 then invalid_arg "Sampling.Policy: detail_every must be positive";
+    if warmup < 0 then invalid_arg "Sampling.Policy: warmup must be nonnegative";
+    if warmup > interval then
+      invalid_arg "Sampling.Policy: warmup cannot exceed the interval length"
+
+let to_string = function
+  | Full -> "full"
+  | Sampled { interval; detail_every; warmup } ->
+    Printf.sprintf "interval=%d,detail=%d,warmup=%d" interval detail_every warmup
+
+(* Spec grammar for the CLI's --sample flag:
+     "full"                              exact simulation
+     "default"                           the default sampled configuration
+     "interval=N,detail=N,warmup=N"      explicit knobs (any subset; the
+                                         rest take the default values) *)
+let of_string spec =
+  match String.lowercase_ascii (String.trim spec) with
+  | "full" -> Ok Full
+  | "default" | "sampled" -> Ok default_sampled
+  | s ->
+    let d_interval, d_detail, d_warmup =
+      match default_sampled with
+      | Sampled { interval; detail_every; warmup } -> (interval, detail_every, warmup)
+      | Full -> assert false
+    in
+    let parse_kv acc kv =
+      match acc with
+      | Error _ -> acc
+      | Ok (interval, detail_every, warmup) -> (
+        match String.split_on_char '=' kv with
+        | [ k; v ] -> (
+          match (String.trim k, int_of_string_opt (String.trim v)) with
+          | _, None -> Error (Printf.sprintf "bad value in %S" kv)
+          | "interval", Some n -> Ok (n, detail_every, warmup)
+          | ("detail" | "detail_every"), Some n -> Ok (interval, n, warmup)
+          | "warmup", Some n -> Ok (interval, detail_every, n)
+          | k, Some _ -> Error (Printf.sprintf "unknown key %S" k))
+        | _ -> Error (Printf.sprintf "expected key=value, got %S" kv))
+    in
+    (match
+       List.fold_left parse_kv
+         (Ok (d_interval, d_detail, d_warmup))
+         (String.split_on_char ',' s)
+     with
+    | Error e -> Error e
+    | Ok (interval, detail_every, warmup) -> (
+      let p = Sampled { interval; detail_every; warmup } in
+      match validate p with
+      | () -> Ok p
+      | exception Invalid_argument e -> Error e))

@@ -1,0 +1,42 @@
+(** Sampled-simulation policy (SMARTS/SimPoint-style interval sampling).
+
+    The measured instruction stream is cut into fixed-size intervals of
+    [interval] instructions.  Every [detail_every]-th interval runs in
+    {e detailed} mode — the existing {!Uarch.Inorder}/{!Uarch.Ooo} timing
+    models — and contributes a CPI sample; the remaining intervals run in
+    {e functional-warming} mode, which updates caches, TLBs, and branch
+    predictor state but skips pipeline timing.  The last [warmup]
+    instructions before each detailed interval are additionally fed through
+    the detailed model (timed but excluded from the CPI statistics) so
+    short-lived pipeline state is re-primed.
+
+    [Sampled] with [detail_every = 1] degenerates to exact simulation:
+    every interval is detailed, nothing is warmed or extrapolated, and the
+    cycle count equals a [Full] run's bit-for-bit (tested). *)
+
+type t =
+  | Full
+  | Sampled of {
+      interval : int;  (** instructions per interval *)
+      detail_every : int;  (** detail one interval in this many *)
+      warmup : int;  (** detailed (unmeasured) insns before each detailed interval *)
+    }
+
+val default_sampled : t
+(** interval = 500, detail_every = 7, warmup = 500: one interval per
+    stratum of 7 simulated in detail plus a full-interval warmup window
+    before it (~29% of the stream through the timing model; see
+    {!Interval.detailed} for how detailed intervals are placed). *)
+
+val default_budget : int
+(** Traversal budget (instructions) used by the fast figure-regeneration
+    path; see {!Engine.run}'s [budget]. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on nonsensical knob values. *)
+
+val of_string : string -> (t, string) result
+(** Parse a CLI spec: ["full"], ["default"], or
+    ["interval=N,detail=N,warmup=N"] (any subset of keys). *)
+
+val to_string : t -> string

@@ -1,0 +1,31 @@
+(* Human-readable rendering of estimates for the CLI and bench output. *)
+
+let pf = Printf.sprintf
+
+let summary (e : Estimate.t) =
+  match e.policy with
+  | Policy.Full ->
+    pf "full: %d cycles over %d insns (CPI %.3f)" e.est_cycles e.total_insns (Estimate.cpi e)
+  | Policy.Sampled _ ->
+    pf "sampled (%s): %d +- %.0f cycles over %d insns (CPI %.3f, rel CI %.2f%%, %.1f%% detailed, %d/%d intervals)%s"
+      (Policy.to_string e.policy) e.est_cycles e.ci95_cycles e.total_insns (Estimate.cpi e)
+      (100.0 *. Estimate.rel_ci e)
+      (100.0 *. Estimate.detail_fraction e)
+      e.intervals_detailed
+      (e.intervals_detailed + e.intervals_warmed)
+      (if e.complete then "" else " [budget-limited]")
+
+let lines (e : Estimate.t) =
+  [
+    pf "policy            %s" (Policy.to_string e.policy);
+    pf "insns             %d (detailed %d, warmup %d, warmed %d)" e.total_insns e.detailed_insns
+      e.warmup_insns e.warmed_insns;
+    pf "measured cycles   %d (+ %d warmup)" e.measured_cycles e.warmup_cycles;
+    pf "estimated cycles  %d +- %.0f (95%% CI, %.2f%% rel)" e.est_cycles e.ci95_cycles
+      (100.0 *. Estimate.rel_ci e);
+    pf "mean CPI          %.4f (stddev %.4f over %d samples)" e.mean_cpi e.cpi_stddev
+      e.intervals_detailed;
+    pf "detail fraction   %.1f%%%s"
+      (100.0 *. Estimate.detail_fraction e)
+      (if e.complete then "" else "  [budget-limited traversal]");
+  ]

@@ -1,0 +1,8 @@
+(** Rendering of {!Estimate.t} for CLI and bench output. *)
+
+val summary : Estimate.t -> string
+(** One-line summary. *)
+
+val lines : Estimate.t -> string list
+(** Multi-line breakdown (insn split, measured vs extrapolated cycles,
+    CPI statistics, detail fraction). *)

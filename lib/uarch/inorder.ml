@@ -187,6 +187,38 @@ let feed t (i : Isa.Insn.t) =
     set_dst t i done_;
     bump t done_)
 
+(* Functional warming (sampled simulation's fast path): update the state
+   that persists across intervals — icache/dcache contents via the memory
+   system's content-only [warm_*] operations, TLBs (folded into those
+   closures), and the branch predictor — without any timing work.  The
+   frontier does not move: warmed fills carry no latency, and the warmup
+   window before the next detailed interval re-establishes pipeline
+   (queue/slot) pressure before measurement resumes. *)
+let warm t (i : Isa.Insn.t) =
+  let line = i.pc lsr 6 in
+  if line <> t.fetch_line then begin
+    t.fetch_line <- line;
+    t.mem.Memsys.warm_ifetch ~pc:i.pc
+  end;
+  match i.kind with
+  | Load | Amo ->
+    let mem = match i.mem with Some m -> m | None -> assert false in
+    t.mem.Memsys.warm_load ~addr:mem.addr ~size:mem.size
+  | Store ->
+    let mem = match i.mem with Some m -> m | None -> assert false in
+    t.mem.Memsys.warm_store ~addr:mem.addr ~size:mem.size
+  | Branch | Jump | Call | Ret -> (
+    ignore (Branch.Frontend.resolve t.frontend i);
+    match i.ctrl with
+    | Some { taken = true; target } ->
+      let tline = target lsr 6 in
+      if tline <> t.fetch_line then begin
+        t.fetch_line <- tline;
+        t.mem.Memsys.warm_ifetch ~pc:target
+      end
+    | _ -> ())
+  | _ -> ()
+
 let run t stream = Seq.iter (feed t) stream
 let now t = t.frontier
 

@@ -53,6 +53,15 @@ val feed : t -> Isa.Insn.t -> unit
 val run : t -> Isa.Insn.t Seq.t -> unit
 (** Feed a whole stream. *)
 
+val warm : t -> Isa.Insn.t -> unit
+(** Functional warming for sampled simulation: update long-lived
+    microarchitectural state — caches and TLBs (through the memory
+    system) and the branch predictor — without modeling pipeline timing
+    and without counting the instruction in {!stats}.  Memory traffic
+    issues at the completion frontier and advances it, keeping fill
+    timestamps consistent when {!feed} resumes.  Cache/TLB statistics do
+    include the warming traffic. *)
+
 val now : t -> int
 (** Current completion frontier in cycles: all work issued so far is done
     by this cycle. *)

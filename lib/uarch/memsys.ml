@@ -2,6 +2,9 @@ type t = {
   load : cycle:int -> addr:int -> size:int -> int;
   store : cycle:int -> addr:int -> size:int -> int;
   ifetch : cycle:int -> pc:int -> int;
+  warm_load : addr:int -> size:int -> unit;
+  warm_store : addr:int -> size:int -> unit;
+  warm_ifetch : pc:int -> unit;
 }
 
 let ideal ~latency =
@@ -9,4 +12,7 @@ let ideal ~latency =
     load = (fun ~cycle ~addr:_ ~size:_ -> cycle + latency);
     store = (fun ~cycle ~addr:_ ~size:_ -> cycle + latency);
     ifetch = (fun ~cycle ~pc:_ -> cycle + latency);
+    warm_load = (fun ~addr:_ ~size:_ -> ());
+    warm_store = (fun ~addr:_ ~size:_ -> ());
+    warm_ifetch = (fun ~pc:_ -> ());
   }

@@ -260,6 +260,37 @@ let feed t (i : Isa.Insn.t) =
   t.idx <- t.idx + 1;
   bump t r
 
+(* Functional warming — see {!Inorder.warm}: caches, TLBs, and the branch
+   predictor are updated through the memory system's content-only
+   [warm_*] operations; pipeline structures (ROB, queues, ports), the
+   frontier, and retired-instruction statistics are not touched.  The
+   warmup window before the next detailed interval re-establishes queue
+   pressure before measurement resumes. *)
+let warm t (i : Isa.Insn.t) =
+  let line = i.pc lsr 6 in
+  if line <> t.fetch_line then begin
+    t.fetch_line <- line;
+    t.mem.Memsys.warm_ifetch ~pc:i.pc
+  end;
+  match i.kind with
+  | Load | Amo ->
+    let mem = match i.mem with Some m -> m | None -> assert false in
+    t.mem.Memsys.warm_load ~addr:mem.addr ~size:mem.size
+  | Store ->
+    let mem = match i.mem with Some m -> m | None -> assert false in
+    t.mem.Memsys.warm_store ~addr:mem.addr ~size:mem.size
+  | Branch | Jump | Call | Ret -> (
+    ignore (Branch.Frontend.resolve t.frontend i);
+    match i.ctrl with
+    | Some { taken = true; target } ->
+      let tline = target lsr 6 in
+      if tline <> t.fetch_line then begin
+        t.fetch_line <- tline;
+        t.mem.Memsys.warm_ifetch ~pc:target
+      end
+    | _ -> ())
+  | _ -> ()
+
 let run t stream = Seq.iter (feed t) stream
 let now t = t.frontier
 

@@ -58,6 +58,12 @@ type t
 val create : config -> Memsys.t -> t
 val feed : t -> Isa.Insn.t -> unit
 val run : t -> Isa.Insn.t Seq.t -> unit
+
+val warm : t -> Isa.Insn.t -> unit
+(** Functional warming for sampled simulation — same contract as
+    {!Inorder.warm}: caches, TLBs, and branch predictor state advance;
+    pipeline timing and retired-instruction statistics do not. *)
+
 val now : t -> int
 val advance_to : t -> int -> unit
 val stats : t -> stats

@@ -47,3 +47,26 @@ val shuffle : t -> 'a array -> unit
 
 val permutation : t -> int -> int array
 (** [permutation t n] is a uniformly random permutation of 0..n-1. *)
+
+val shared_permutation : t -> int -> int array
+(** Like {!permutation}, but memoized on (generator state, n): callers
+    replaying the same seeded stream share one array instead of re-running
+    the Fisher–Yates shuffle (the multi-MiB pointer-chase workloads rebuild
+    ~2M-entry permutations once per platform otherwise).  The returned
+    array MUST be treated as read-only.  The generator state advances
+    exactly as a non-memoized call would. *)
+
+(** {2 Global seed override}
+
+    All baked-in workload seeds flow through {!salted}.  The default
+    global seed 0 is the identity — every stream is bit-identical to the
+    historical fixed-seed behaviour.  Setting a nonzero global seed
+    deterministically re-keys every seeded stream in the process, enabling
+    sampling-error experiments across seeds (the CLI's [--seed] flag). *)
+
+val set_global_seed : int -> unit
+val get_global_seed : unit -> int
+
+val salted : int -> int
+(** [salted seed] mixes the global seed into a workload-local seed;
+    identity when the global seed is 0. *)

@@ -155,7 +155,7 @@ let ep_program ?(codegen = Codegen.default) ~ranks ~scale () : Smpi.program =
       let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
       Int64.(logxor z (shift_right_logical z 31))
     in
-    let h = mix (Int64.add (Int64.of_int seed) (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (pos + 1)))) in
+    let h = mix (Int64.add (Int64.of_int (Util.Rng.salted seed)) (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (pos + 1)))) in
     Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0
   in
 
@@ -223,7 +223,7 @@ let is_program ?(codegen = Codegen.default) ~ranks ~scale () : Smpi.program =
       let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
       Int64.(logxor z (shift_right_logical z 31))
     in
-    let h = mix (Int64.add (Int64.of_int seed) (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (pos + 1)))) in
+    let h = mix (Int64.add (Int64.of_int (Util.Rng.salted seed)) (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (pos + 1)))) in
     Int64.to_int (Int64.logand h 0x7FFL) land (buckets - 1)
   in
 

@@ -18,6 +18,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("report", Test_report.suite);
       ("telemetry", Test_telemetry.suite);
+      ("sampling", Test_sampling.suite);
       ("simbridge", Test_simbridge.suite);
       ("integration", Test_integration.suite);
     ]

@@ -1,4 +1,8 @@
-.PHONY: all build test check bench sampling-smoke clean
+.PHONY: all build test check bench sampling-smoke parallel-smoke clean
+
+# Worker domains for smoke runs (0 = auto); CI passes JOBS=2 so the
+# parallel path is exercised on every push.
+JOBS ?= 1
 
 all: build
 
@@ -22,9 +26,17 @@ bench:
 sampling-smoke: build
 	@tail -n +2 results/sampling-reference.csv | while IFS=, read -r kernel platform scale cycles; do \
 		dune exec bin/simbridge_cli.exe -- workload $$kernel --platform $$platform \
-			--scale $$scale --sample default --expect-cycles $$cycles --tolerance 0.10 \
+			--scale $$scale --sample default --jobs $(JOBS) --expect-cycles $$cycles --tolerance 0.10 \
 			|| exit 1; \
 	done
+
+# CI smoke for the Domain worker pool: fig1 regenerated with 2 worker
+# domains must be byte-identical to the sequential run.
+parallel-smoke: build
+	@dune exec bin/simbridge_cli.exe -- run fig1 --jobs 1 > _build/parallel-smoke-seq.txt
+	@dune exec bin/simbridge_cli.exe -- run fig1 --jobs 2 > _build/parallel-smoke-par.txt
+	@cmp _build/parallel-smoke-seq.txt _build/parallel-smoke-par.txt \
+		&& echo "parallel-smoke: OK (fig1 --jobs 2 byte-identical to --jobs 1)"
 
 clean:
 	dune clean

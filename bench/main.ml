@@ -6,6 +6,8 @@
                                            # then the Bechamel suites
      dune exec bench/main.exe -- fig1      # one experiment
      dune exec bench/main.exe -- bechamel  # only the Bechamel suites
+     dune exec bench/main.exe -- sampling  # sampled-simulation acceptance gate
+     dune exec bench/main.exe -- parallel  # worker-pool acceptance gate
 
    Experiment ids: table1-5, fig1-7, runtimes, ablate-l1, ablate-clock,
    ablate-bus, simrate. *)
@@ -49,6 +51,49 @@ let run_sampling_gate () =
   if bad <> [] || e1.E.se_speedup < 5.0 then exit 1;
   Printf.printf "sampling gate: PASS (fig1 max rel err %.2f%% <= 5%%, speedup %.1fx >= 5x)\n%!"
     (100.0 *. e1.E.se_max_rel_err) e1.E.se_speedup
+
+(* ------------------------------------------------------ parallel gate *)
+
+(* `bench/main.exe parallel` is the worker pool's acceptance gate: fig1
+   regenerated at jobs=1 and jobs=auto must be bit-identical (structural
+   equality of the figure record AND byte equality of the rendered CSV),
+   and on hosts with >= 4 recommended domains the pooled run must beat
+   the sequential one by >= 2x wall-clock.  fig2 runs the same identity
+   check for coverage of the BOOM grid. *)
+let run_parallel_gate () =
+  let module E = Simbridge.Experiments in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let auto = Parallel.Pool.recommended_jobs () in
+  let seq1, seq_wall = time (fun () -> E.fig1 ~jobs:1 ()) in
+  let par1, par_wall = time (fun () -> E.fig1 ~jobs:auto ()) in
+  let seq2, _ = time (fun () -> E.fig2 ~jobs:1 ()) in
+  let par2, _ = time (fun () -> E.fig2 ~jobs:auto ()) in
+  let speedup = if par_wall > 0.0 then seq_wall /. par_wall else 0.0 in
+  Printf.printf "fig1 wall-clock: jobs=1 %.2fs, jobs=%d %.2fs (%.2fx)\n" seq_wall auto par_wall
+    speedup;
+  let mismatches =
+    List.filter
+      (fun (_, ok) -> not ok)
+      [
+        ("fig1 figure", seq1 = par1);
+        ("fig1 csv", E.figure_csv seq1 = E.figure_csv par1);
+        ("fig2 figure", seq2 = par2);
+        ("fig2 csv", E.figure_csv seq2 = E.figure_csv par2);
+      ]
+  in
+  List.iter (fun (what, _) -> Printf.printf "FAIL %s: jobs=%d differs from jobs=1\n" what auto)
+    mismatches;
+  let too_slow = auto >= 4 && speedup < 2.0 in
+  if too_slow then
+    Printf.printf "FAIL wall-clock speedup %.2fx < 2x at jobs=%d (>= 4-core host)\n" speedup auto;
+  if mismatches <> [] || too_slow then exit 1;
+  Printf.printf "parallel gate: PASS (bit-identical across jobs%s)\n%!"
+    (if auto >= 4 then Printf.sprintf ", %.1fx speedup at jobs=%d" speedup auto
+     else Printf.sprintf "; host recommends %d domain(s), speedup bar waived" auto)
 
 (* ----------------------------------------------------------- bechamel *)
 
@@ -159,7 +204,8 @@ let () =
     run_bechamel ()
   | [ _; "bechamel" ] -> run_bechamel ()
   | [ _; "sampling" ] -> run_sampling_gate ()
+  | [ _; "parallel" ] -> run_parallel_gate ()
   | [ _; id ] -> run_experiment id
   | _ ->
-    prerr_endline "usage: main.exe [experiment-id | bechamel | sampling]";
+    prerr_endline "usage: main.exe [experiment-id | bechamel | sampling | parallel]";
     exit 1

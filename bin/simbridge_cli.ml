@@ -14,6 +14,16 @@ let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
 
+(* --jobs: worker-domain count for grid experiments (0 = auto).  Set once
+   at startup, before any pool runs — the pool default, like the Rng
+   global seed, is read-only thereafter. *)
+let setup_jobs jobs =
+  if jobs < 0 then begin
+    Format.eprintf "--jobs must be >= 0 (0 = auto, 1 = sequential), got %d@." jobs;
+    exit 1
+  end;
+  Parallel.Pool.set_default_jobs jobs
+
 let list_platforms () =
   List.iter
     (fun (c : Platform.Config.t) ->
@@ -25,9 +35,10 @@ let list_experiments () =
     (fun (id, descr, _) -> Format.printf "%-12s %s@." id descr)
     Simbridge.Experiments.all
 
-let run_experiment verbose seed id =
+let run_experiment verbose seed jobs id =
   setup_logs verbose;
   Util.Rng.set_global_seed seed;
+  setup_jobs jobs;
   if id = "all" then
     List.iter
       (fun (id, _, render) ->
@@ -40,7 +51,8 @@ let run_experiment verbose seed id =
       Format.eprintf "unknown experiment %s; try `simbridge experiments`@." id;
       exit 1
 
-let csv_figure id scale =
+let csv_figure jobs id scale =
+  setup_jobs jobs;
   let fig =
     match id with
     | "fig1" -> Some (Simbridge.Experiments.fig1 ~scale ())
@@ -97,10 +109,11 @@ let smoke_check ~tolerance ~reference (est : Sampling.Estimate.t) =
     exit 1
   end
 
-let run_workload verbose name platform ranks scale telemetry_dir seed sample budget expect_cycles
-    tolerance =
+let run_workload verbose name platform ranks scale telemetry_dir seed jobs sample budget
+    expect_cycles tolerance =
   setup_logs verbose;
   Util.Rng.set_global_seed seed;
+  setup_jobs jobs;
   let policy =
     match sample with
     | None -> Sampling.Policy.Full
@@ -226,7 +239,8 @@ let run_grid target scale =
   in
   print_string (Simbridge.Tuning.render_scores scores)
 
-let dump_raw dir scale =
+let dump_raw jobs dir scale =
+  setup_jobs jobs;
   (* The paper publishes its raw runtime data; this writes ours. *)
   (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   let write name (fig : Simbridge.Experiments.figure) =
@@ -285,6 +299,15 @@ let seed_arg =
           "Global seed override: re-keys every baked-in workload RNG stream deterministically. 0 \
            (default) keeps the historical fixed-seed streams.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "jobs"; "j" ]
+        ~doc:
+          "Worker domains for grid experiments: $(b,0) (default) = auto \
+           (Domain.recommended_domain_count), $(b,1) = sequential in-process, $(b,N) = up to N \
+           concurrent simulation cells. Output is bit-identical for every value.")
+
 let platforms_cmd =
   Cmd.v (Cmd.info "platforms" ~doc:"List the platform catalog")
     Term.(const list_platforms $ const ())
@@ -296,12 +319,12 @@ let experiments_cmd =
 let run_cmd =
   let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT") in
   Cmd.v (Cmd.info "run" ~doc:"Regenerate a table or figure (or 'all')")
-    Term.(const run_experiment $ verbose_arg $ seed_arg $ id)
+    Term.(const run_experiment $ verbose_arg $ seed_arg $ jobs_arg $ id)
 
 let csv_cmd =
   let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE") in
   Cmd.v (Cmd.info "csv" ~doc:"Emit a figure's data as CSV")
-    Term.(const csv_figure $ id $ scale_arg)
+    Term.(const csv_figure $ jobs_arg $ id $ scale_arg)
 
 let telemetry_arg =
   Arg.(
@@ -357,7 +380,7 @@ let workload_cmd =
   Cmd.v (Cmd.info "workload" ~doc:"Run one workload on one platform")
     Term.(
       const run_workload $ verbose_arg $ wname $ platform $ ranks $ scale_arg $ telemetry_arg
-      $ seed_arg $ sample $ budget $ expect_cycles $ tolerance)
+      $ seed_arg $ jobs_arg $ sample $ budget $ expect_cycles $ tolerance)
 
 let tune_cmd =
   let target = Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET") in
@@ -381,7 +404,7 @@ let dump_cmd =
     Arg.(value & opt string "results" & info [ "out"; "o" ] ~doc:"Output directory for CSV files.")
   in
   Cmd.v (Cmd.info "dump-raw" ~doc:"Write every figure's raw data as CSV (as the paper does on GitHub)")
-    Term.(const dump_raw $ dir $ scale_arg)
+    Term.(const dump_raw $ jobs_arg $ dir $ scale_arg)
 
 let main =
   Cmd.group

@@ -146,24 +146,59 @@ let table5 () =
 
 (* ------------------------------------------------------------- figures *)
 
-let microbench_figure ?(policy = Sampling.Policy.Full) ?budget ~id ~title ~hw ~sims ~scale () =
+(* Every figure below builds an explicit list of independent simulation
+   cells (its grid) and submits it to the domain pool via the Runner grid
+   drivers; [jobs] defaults to the pool's process-wide setting (the CLI's
+   --jobs).  Each cell simulates a fresh SoC from seeded streams, so the
+   reassembled-in-order results are bit-identical to a sequential run. *)
+
+(* Split [l] into consecutive chunks of [n] (the per-platform rows of a
+   flattened grid). *)
+let chunks n l =
+  let rec take k acc l =
+    if k = 0 then (List.rev acc, l)
+    else
+      match l with
+      | [] -> (List.rev acc, [])
+      | x :: rest -> take (k - 1) (x :: acc) rest
+  in
+  let rec go acc l =
+    match l with
+    | [] -> List.rev acc
+    | _ ->
+      let c, rest = take n [] l in
+      go (c :: acc) rest
+  in
+  go [] l
+
+let microbench_figure ?(policy = Sampling.Policy.Full) ?budget ?jobs ~id ~title ~hw ~sims ~scale ()
+    =
   let kernels = Mb.evaluated in
-  let run cfg k = (Runner.run_kernel_timed ~scale ~policy ?budget cfg k).Runner.result in
-  let hw_results = List.map (fun (k : W.kernel) -> (k.name, run hw k)) kernels in
+  (* One cell per (platform, kernel) grid point, hardware row first. *)
+  let grid =
+    List.concat_map
+      (fun (cfg : Platform.Config.t) -> List.map (fun k -> (cfg, k)) kernels)
+      (hw :: sims)
+  in
+  let results =
+    List.map (fun t -> t.Runner.result) (Runner.run_kernel_grid ~scale ~policy ?budget ?jobs grid)
+  in
   let series =
-    List.map
-      (fun (sim : Platform.Config.t) ->
-        {
-          label = sim.name;
-          points =
-            List.map
-              (fun (k : W.kernel) ->
-                let s = run sim k in
-                let h = List.assoc k.name hw_results in
-                (k.name, Runner.relative_speedup ~sim:s ~hw:h))
-              kernels;
-        })
-      sims
+    match chunks (List.length kernels) results with
+    | [] -> []
+    | hw_row :: sim_rows ->
+      let hw_results = List.map2 (fun (k : W.kernel) r -> (k.name, r)) kernels hw_row in
+      List.map2
+        (fun (sim : Platform.Config.t) row ->
+          {
+            label = sim.name;
+            points =
+              List.map2
+                (fun (k : W.kernel) s ->
+                  (k.name, Runner.relative_speedup ~sim:s ~hw:(List.assoc k.name hw_results)))
+                kernels row;
+          })
+        sims sim_rows
   in
   let note = "relative speedup = t_hw / t_sim; 1.0 = exact match" in
   let note =
@@ -173,15 +208,15 @@ let microbench_figure ?(policy = Sampling.Policy.Full) ?budget ~id ~title ~hw ~s
   in
   { id; title; note; reference = Some 1.0; series }
 
-let fig1 ?(scale = 1.0) ?policy ?budget () =
-  microbench_figure ?policy ?budget ~id:"fig1"
+let fig1 ?(scale = 1.0) ?policy ?budget ?jobs () =
+  microbench_figure ?policy ?budget ?jobs ~id:"fig1"
     ~title:"MicroBench: Rocket models vs Banana Pi hardware" ~hw:Cat.banana_pi_hw
     ~sims:[ Cat.banana_pi_sim; Cat.fast_banana_pi_sim ]
     ~scale ()
 
-let fig2 ?(scale = 1.0) ?policy ?budget () =
-  microbench_figure ?policy ?budget ~id:"fig2" ~title:"MicroBench: BOOM models vs MILK-V hardware"
-    ~hw:Cat.milkv_hw
+let fig2 ?(scale = 1.0) ?policy ?budget ?jobs () =
+  microbench_figure ?policy ?budget ?jobs ~id:"fig2"
+    ~title:"MicroBench: BOOM models vs MILK-V hardware" ~hw:Cat.milkv_hw
     ~sims:[ Cat.boom_small; Cat.boom_medium; Cat.boom_large; Cat.milkv_sim ]
     ~scale ()
 
@@ -210,7 +245,12 @@ type sampling_eval = {
    headline figures: sampling's wall-clock win is a long-stream property
    (the detailed+warming work is capped by the budget while a full run
    grows with the stream), and at scale 8 the speedup crosses the bench's
-   5x bar with every relative speedup still within 5% of the full run. *)
+   5x bar with every relative speedup still within 5% of the full run.
+
+   Unlike the figures, this harness stays sequential on purpose: it
+   *measures* per-cell host wall-clock (the full-vs-sampled speedup it
+   gates on), and concurrent cells sharing host cores would inflate both
+   sides unevenly and make the gate flaky. *)
 let sampling_eval ?(scale = 8.0) ?(policy = Sampling.Policy.default_sampled)
     ?(budget = Sampling.Policy.default_budget) ~id ~hw ~sims () =
   let kernels = Mb.evaluated in
@@ -300,54 +340,92 @@ let sampling_report ?scale () =
       render_sampling_eval (sampling_eval_fig2 ?scale ());
     ]
 
-let npb_figure ~id ~title ~hw ~sims ~ranks ~scale =
-  let hw_results =
-    List.map
-      (fun (a : W.app) ->
-        (a.app_name, Runner.run_app ~scale ~codegen:Workloads.Codegen.gcc_13_2 ~ranks hw a))
-      Npb.all
+let npb_figure ?jobs ~id ~title ~hw ~sims ~ranks ~scale () =
+  let apps = Npb.all in
+  (* Hardware row first (native GCC 13.2 binaries), then each simulation
+     model (FireSim-image GCC 9.4 binaries) — one cell per (platform, app). *)
+  let grid =
+    List.concat_map
+      (fun ((cfg : Platform.Config.t), codegen) ->
+        List.map (fun a -> (cfg, codegen, ranks, a)) apps)
+      ((hw, Workloads.Codegen.gcc_13_2)
+      :: List.map (fun s -> (s, Workloads.Codegen.gcc_9_4)) sims)
+  in
+  let results = Runner.run_app_grid ~scale ?jobs grid in
+  let series =
+    match chunks (List.length apps) results with
+    | [] -> []
+    | hw_row :: sim_rows ->
+      let hw_results = List.map2 (fun (a : W.app) r -> (a.app_name, r)) apps hw_row in
+      List.map2
+        (fun (sim : Platform.Config.t) row ->
+          {
+            label = sim.name;
+            points =
+              List.map2
+                (fun (a : W.app) s ->
+                  (String.uppercase_ascii a.app_name,
+                   Runner.relative_speedup ~sim:s ~hw:(List.assoc a.app_name hw_results)))
+                apps row;
+          })
+        sims sim_rows
   in
   {
     id;
     title;
     note = Printf.sprintf "%d rank(s); relative speedup = t_hw / t_sim" ranks;
     reference = Some 1.0;
-    series =
-      List.map
-        (fun (sim : Platform.Config.t) ->
-          {
-            label = sim.name;
-            points =
-              List.map
-                (fun (a : W.app) ->
-                  let s = Runner.run_app ~scale ~codegen:Workloads.Codegen.gcc_9_4 ~ranks sim a in
-                  let h = List.assoc a.app_name hw_results in
-                  (String.uppercase_ascii a.app_name, Runner.relative_speedup ~sim:s ~hw:h))
-                Npb.all;
-          })
-        sims;
+    series;
   }
 
-let fig3 ?(scale = 1.0) () =
+let fig3 ?(scale = 1.0) ?jobs () =
   let sims = [ Cat.rocket1; Cat.rocket2; Cat.banana_pi_sim; Cat.fast_banana_pi_sim ] in
   [
-    npb_figure ~id:"fig3a" ~title:"NPB on Rocket configs vs Banana Pi (single core)"
-      ~hw:Cat.banana_pi_hw ~sims ~ranks:1 ~scale;
-    npb_figure ~id:"fig3b" ~title:"NPB on Rocket configs vs Banana Pi (four cores)"
-      ~hw:Cat.banana_pi_hw ~sims ~ranks:4 ~scale;
+    npb_figure ?jobs ~id:"fig3a" ~title:"NPB on Rocket configs vs Banana Pi (single core)"
+      ~hw:Cat.banana_pi_hw ~sims ~ranks:1 ~scale ();
+    npb_figure ?jobs ~id:"fig3b" ~title:"NPB on Rocket configs vs Banana Pi (four cores)"
+      ~hw:Cat.banana_pi_hw ~sims ~ranks:4 ~scale ();
   ]
 
-let fig4 ?(scale = 1.0) () =
+let fig4 ?(scale = 1.0) ?jobs () =
   let a =
-    npb_figure ~id:"fig4a" ~title:"NPB on stock BOOM configs vs MILK-V (single core)"
+    npb_figure ?jobs ~id:"fig4a" ~title:"NPB on stock BOOM configs vs MILK-V (single core)"
       ~hw:Cat.milkv_hw
       ~sims:[ Cat.boom_small; Cat.boom_medium; Cat.boom_large ]
-      ~ranks:1 ~scale
+      ~ranks:1 ~scale ()
   in
-  (* (b): the tuned MILK-V Sim Model at 1 and 4 ranks. *)
-  let point_for ranks (app : W.app) =
-    (String.uppercase_ascii app.app_name,
-     Runner.app_relative ~scale ~ranks ~sim:Cat.milkv_sim ~hw:Cat.milkv_hw app)
+  (* (b): the tuned MILK-V Sim Model at 1 and 4 ranks.  Cells come in
+     (ranks, app, side) order, the simulation side before the board. *)
+  let ranks_list = [ 1; 4 ] in
+  let grid =
+    List.concat_map
+      (fun ranks ->
+        List.concat_map
+          (fun (app : W.app) ->
+            [
+              (Cat.milkv_sim, Workloads.Codegen.gcc_9_4, ranks, app);
+              (Cat.milkv_hw, Workloads.Codegen.gcc_13_2, ranks, app);
+            ])
+          Npb.all)
+      ranks_list
+  in
+  let results = Runner.run_app_grid ~scale ?jobs grid in
+  let rows = chunks (2 * List.length Npb.all) results in
+  let series =
+    List.map2
+      (fun ranks row ->
+        {
+          label = (if ranks = 1 then "1 core" else Printf.sprintf "%d cores" ranks);
+          points =
+            List.map2
+              (fun (app : W.app) pt ->
+                match pt with
+                | [ s; h ] ->
+                  (String.uppercase_ascii app.app_name, Runner.relative_speedup ~sim:s ~hw:h)
+                | _ -> assert false)
+              Npb.all (chunks 2 row);
+        })
+      ranks_list rows
   in
   let b =
     {
@@ -355,67 +433,96 @@ let fig4 ?(scale = 1.0) () =
       title = "NPB on the MILK-V Sim Model vs MILK-V (1 and 4 cores)";
       note = "relative speedup = t_hw / t_sim";
       reference = Some 1.0;
-      series =
-        [
-          { label = "1 core"; points = List.map (point_for 1) Npb.all };
-          { label = "4 cores"; points = List.map (point_for 4) Npb.all };
-        ];
+      series;
     }
   in
   [ a; b ]
 
-let app_pair_figure ~id ~title (app : W.app) ~scale =
+let app_pair_figure ?jobs ~id ~title (app : W.app) ~scale () =
   let ranks_list = [ 1; 2; 4 ] in
-  let series_of label sim hw =
-    {
-      label;
-      points =
-        List.map
+  let pairs =
+    [
+      ("banana-pi pair", Cat.banana_pi_sim, Cat.banana_pi_hw);
+      ("milk-v pair", Cat.milkv_sim, Cat.milkv_hw);
+    ]
+  in
+  (* Cells in (pair, ranks, side) order; as in Runner.app_relative, the
+     simulation side runs the GCC 9.4 image binary, the board the GCC
+     13.2 native one (Table 3). *)
+  let grid =
+    List.concat_map
+      (fun (_, sim, hw) ->
+        List.concat_map
           (fun ranks ->
-            (string_of_int ranks ^ " ranks", Runner.app_relative ~scale ~ranks ~sim ~hw app))
-          ranks_list;
-    }
+            [
+              (sim, Workloads.Codegen.gcc_9_4, ranks, app);
+              (hw, Workloads.Codegen.gcc_13_2, ranks, app);
+            ])
+          ranks_list)
+      pairs
+  in
+  let results = Runner.run_app_grid ~scale ?jobs grid in
+  let rows = chunks (2 * List.length ranks_list) results in
+  let series =
+    List.map2
+      (fun (label, _, _) row ->
+        {
+          label;
+          points =
+            List.map2
+              (fun ranks pt ->
+                match pt with
+                | [ s; h ] ->
+                  (string_of_int ranks ^ " ranks", Runner.relative_speedup ~sim:s ~hw:h)
+                | _ -> assert false)
+              ranks_list (chunks 2 row);
+        })
+      pairs rows
   in
   {
     id;
     title;
     note = "relative speedup = t_hw / t_sim per rank count";
     reference = Some 1.0;
-    series =
-      [
-        series_of "banana-pi pair" Cat.banana_pi_sim Cat.banana_pi_hw;
-        series_of "milk-v pair" Cat.milkv_sim Cat.milkv_hw;
-      ];
+    series;
   }
 
-let fig5 ?(scale = 1.0) () =
-  app_pair_figure ~id:"fig5" ~title:"UME: FireSim models vs hardware" Workloads.Ume.app ~scale
+let fig5 ?(scale = 1.0) ?jobs () =
+  app_pair_figure ?jobs ~id:"fig5" ~title:"UME: FireSim models vs hardware" Workloads.Ume.app
+    ~scale ()
 
-let fig6 ?(scale = 1.0) () =
-  app_pair_figure ~id:"fig6" ~title:"LAMMPS Lennard-Jones: FireSim models vs hardware"
-    Workloads.Lammps.lj ~scale
+let fig6 ?(scale = 1.0) ?jobs () =
+  app_pair_figure ?jobs ~id:"fig6" ~title:"LAMMPS Lennard-Jones: FireSim models vs hardware"
+    Workloads.Lammps.lj ~scale ()
 
-let fig7 ?(scale = 1.0) () =
-  app_pair_figure ~id:"fig7" ~title:"LAMMPS Chain: FireSim models vs hardware"
-    Workloads.Lammps.chain ~scale
+let fig7 ?(scale = 1.0) ?jobs () =
+  app_pair_figure ?jobs ~id:"fig7" ~title:"LAMMPS Chain: FireSim models vs hardware"
+    Workloads.Lammps.chain ~scale ()
 
-let app_runtime_table ?(scale = 1.0) (app : W.app) =
+let app_runtime_table ?(scale = 1.0) ?jobs (app : W.app) =
   let platforms = [ Cat.banana_pi_hw; Cat.banana_pi_sim; Cat.milkv_hw; Cat.milkv_sim ] in
+  let ranks_list = [ 1; 2; 4 ] in
+  (* sim models run the FireSim-image binary, boards the native one *)
+  let codegen_of (p : Platform.Config.t) =
+    if
+      String.length p.Platform.Config.name >= 3
+      && String.sub p.Platform.Config.name (String.length p.Platform.Config.name - 3) 3 = "-hw"
+    then Workloads.Codegen.gcc_13_2
+    else Workloads.Codegen.gcc_9_4
+  in
+  let grid =
+    List.concat_map
+      (fun (p : Platform.Config.t) -> List.map (fun ranks -> (p, codegen_of p, ranks, app)) ranks_list)
+      platforms
+  in
+  let results = Runner.run_app_grid ~scale ?jobs grid in
   let t = Report.Table.create ~headers:[ "Platform"; "1 rank"; "2 ranks"; "4 ranks" ] in
-  List.iter
-    (fun (p : Platform.Config.t) ->
-      let cell ranks =
-        (* sim models run the FireSim-image binary, boards the native one *)
-        let codegen =
-          if String.length p.Platform.Config.name >= 3 && String.sub p.Platform.Config.name (String.length p.Platform.Config.name - 3) 3 = "-hw"
-          then Workloads.Codegen.gcc_13_2
-          else Workloads.Codegen.gcc_9_4
-        in
-        let r = Runner.run_app ~scale ~codegen ~ranks p app in
-        Printf.sprintf "%.4f s" r.Platform.Soc.seconds
-      in
-      Report.Table.add_row t [ p.name; cell 1; cell 2; cell 4 ])
-    platforms;
+  List.iter2
+    (fun (p : Platform.Config.t) row ->
+      Report.Table.add_row t
+        (p.name :: List.map (fun (r : Platform.Soc.result) -> Printf.sprintf "%.4f s" r.Platform.Soc.seconds) row))
+    platforms
+    (chunks (List.length ranks_list) results);
   Printf.sprintf "%s: absolute target runtimes\n" app.app_name ^ Report.Table.render t
 
 (* ------------------------------------------------------------ ablations *)

@@ -29,12 +29,20 @@ val table3 : unit -> string
 val table4 : unit -> string
 val table5 : unit -> string
 
-val fig1 : ?scale:float -> ?policy:Sampling.Policy.t -> ?budget:int -> unit -> figure
+(** Figures build explicit (platform, workload, ranks) cell grids and run
+    them on the {!Parallel.Pool} worker domains: [jobs] bounds the worker
+    count (default: the pool's process-wide setting, i.e. the CLI's
+    [--jobs]; [1] = sequential in-process).  Results are reassembled in
+    grid order and are bit-identical for every [jobs] value. *)
+
+val fig1 :
+  ?scale:float -> ?policy:Sampling.Policy.t -> ?budget:int -> ?jobs:int -> unit -> figure
 (** MicroBench on Banana Pi Sim Model and Fast model vs Banana Pi HW.
     [policy] (default [Full]) and [budget] select the sampled fast path
     (see {!Runner.run_kernel_timed}). *)
 
-val fig2 : ?scale:float -> ?policy:Sampling.Policy.t -> ?budget:int -> unit -> figure
+val fig2 :
+  ?scale:float -> ?policy:Sampling.Policy.t -> ?budget:int -> ?jobs:int -> unit -> figure
 (** MicroBench on Small/Medium/Large BOOM and MILK-V Sim Model vs MILK-V
     HW. *)
 
@@ -79,23 +87,23 @@ val render_sampling_eval : sampling_eval -> string
 val sampling_report : ?scale:float -> unit -> string
 (** The [sampling] registry entry: both evaluations rendered. *)
 
-val fig3 : ?scale:float -> unit -> figure list
+val fig3 : ?scale:float -> ?jobs:int -> unit -> figure list
 (** NPB on the Rocket-family configs vs Banana Pi HW; [single; four]. *)
 
-val fig4 : ?scale:float -> unit -> figure list
+val fig4 : ?scale:float -> ?jobs:int -> unit -> figure list
 (** NPB on BOOM configs vs MILK-V HW; [(a) stock BOOMs; (b) tuned model
     1 and 4 ranks]. *)
 
-val fig5 : ?scale:float -> unit -> figure
+val fig5 : ?scale:float -> ?jobs:int -> unit -> figure
 (** UME relative speedup over 1/2/4 ranks, both platform pairs. *)
 
-val fig6 : ?scale:float -> unit -> figure
+val fig6 : ?scale:float -> ?jobs:int -> unit -> figure
 (** LAMMPS Lennard-Jones. *)
 
-val fig7 : ?scale:float -> unit -> figure
+val fig7 : ?scale:float -> ?jobs:int -> unit -> figure
 (** LAMMPS Chain. *)
 
-val app_runtime_table : ?scale:float -> Workloads.Workload.app -> string
+val app_runtime_table : ?scale:float -> ?jobs:int -> Workloads.Workload.app -> string
 (** Absolute target runtimes (seconds) for 1/2/4 ranks on all four
     platforms — the numbers quoted in §5.3/§5.4. *)
 

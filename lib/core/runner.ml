@@ -123,6 +123,32 @@ let run_app ?(scale = 1.0) ?(codegen = Workloads.Codegen.default) ?(telemetry = 
   if Registry.enabled telemetry then Registry.set_all telemetry (Platform.Soc.counters soc);
   r
 
+(* ------------------------------------------------------- pooled grids *)
+
+let kernel_cell_label (config : Platform.Config.t) (kernel : Workloads.Workload.kernel) =
+  config.Platform.Config.name ^ "/" ^ kernel.Workloads.Workload.name
+
+let run_kernel_grid ?scale ?policy ?budget ?jobs ?telemetry grid =
+  Parallel.Pool.run ?jobs ?telemetry
+    (List.map
+       (fun (config, kernel) ->
+         Parallel.Pool.cell ~label:(kernel_cell_label config kernel) (fun (ctx : Parallel.Pool.ctx) ->
+             run_kernel_timed ?scale ~telemetry:ctx.Parallel.Pool.telemetry ?policy ?budget config
+               kernel))
+       grid)
+
+let run_app_grid ?scale ?jobs ?telemetry grid =
+  Parallel.Pool.run ?jobs ?telemetry
+    (List.map
+       (fun (config, codegen, ranks, (app : Workloads.Workload.app)) ->
+         let label =
+           Printf.sprintf "%s/%s x%d" config.Platform.Config.name app.Workloads.Workload.app_name
+             ranks
+         in
+         Parallel.Pool.cell ~label (fun (ctx : Parallel.Pool.ctx) ->
+             run_app ?scale ~codegen ~telemetry:ctx.Parallel.Pool.telemetry ~ranks config app))
+       grid)
+
 let relative_speedup ~(sim : Platform.Soc.result) ~(hw : Platform.Soc.result) =
   if sim.Platform.Soc.seconds <= 0.0 then invalid_arg "relative_speedup: empty simulation run";
   hw.Platform.Soc.seconds /. sim.Platform.Soc.seconds

@@ -60,6 +60,35 @@ val run_app :
     [telemetry] additionally reaches the MPI engine: message-size and
     wait-time histograms plus per-op trace events on one lane per rank. *)
 
+(** {2 Pooled grids}
+
+    The figure/table drivers build explicit lists of independent
+    simulation cells and submit them here; the {!Parallel.Pool} runs
+    them on worker domains (bounded by [jobs]; default: the pool's
+    process-wide default, i.e. the CLI's [--jobs]).  Results come back
+    in submission order and are bit-identical to a sequential run: every
+    cell simulates a fresh SoC from seeded streams, so its output is a
+    pure function of the grid entry.  With [telemetry], each cell
+    records into a private forked sink, merged back in grid order. *)
+
+val run_kernel_grid :
+  ?scale:float ->
+  ?policy:Sampling.Policy.t ->
+  ?budget:int ->
+  ?jobs:int ->
+  ?telemetry:Telemetry.Registry.t ->
+  (Platform.Config.t * Workloads.Workload.kernel) list ->
+  timed list
+(** {!run_kernel_timed} over a (platform, kernel) grid. *)
+
+val run_app_grid :
+  ?scale:float ->
+  ?jobs:int ->
+  ?telemetry:Telemetry.Registry.t ->
+  (Platform.Config.t * Workloads.Codegen.t * int * Workloads.Workload.app) list ->
+  Platform.Soc.result list
+(** {!run_app} over a (platform, codegen, ranks, app) grid. *)
+
 val relative_speedup : sim:Platform.Soc.result -> hw:Platform.Soc.result -> float
 (** t_hw / t_sim in target seconds (clock-aware, not cycle counts). *)
 

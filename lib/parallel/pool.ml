@@ -1,0 +1,97 @@
+module Registry = Telemetry.Registry
+
+type ctx = {
+  cell_index : int;
+  rng : Util.Rng.t;
+  telemetry : Registry.t;
+}
+
+type 'r cell = {
+  label : string;
+  run : ctx -> 'r;
+}
+
+let cell ?(label = "cell") run = { label; run }
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let resolve_jobs jobs =
+  if jobs < 0 then invalid_arg "Pool.resolve_jobs: jobs must be >= 0 (0 = auto)"
+  else if jobs = 0 then recommended_jobs ()
+  else jobs
+
+(* The process-wide default, set once at CLI startup (--jobs) before any
+   pool runs; thereafter read-only, like the Rng global seed. *)
+let default_jobs_setting = Atomic.make 0
+
+let set_default_jobs jobs =
+  if jobs < 0 then invalid_arg "Pool.set_default_jobs: jobs must be >= 0 (0 = auto)";
+  Atomic.set default_jobs_setting jobs
+
+let default_jobs () = resolve_jobs (Atomic.get default_jobs_setting)
+
+let run ?jobs ?(telemetry = Registry.disabled) cells =
+  let cells = Array.of_list cells in
+  let n = Array.length cells in
+  if n = 0 then []
+  else begin
+    let jobs = match jobs with Some j -> resolve_jobs j | None -> default_jobs () in
+    let workers = min jobs n in
+    (* One forked sink per cell (not per worker): merging them back in
+       cell-index order makes the combined telemetry independent of how
+       the scheduler distributed cells over domains. *)
+    let sinks = Array.map (fun _ -> Registry.fork telemetry) cells in
+    let results = Array.make n None in
+    let fail_mutex = Mutex.create () in
+    let failure = ref None in
+    let aborted = Atomic.make false in
+    let record_failure i e bt =
+      Atomic.set aborted true;
+      Mutex.protect fail_mutex (fun () ->
+          match !failure with
+          | Some (j, _, _) when j <= i -> ()
+          | _ -> failure := Some (i, e, bt))
+    in
+    let exec i =
+      if not (Atomic.get aborted) then begin
+        let ctx = { cell_index = i; rng = Util.Rng.for_cell i; telemetry = sinks.(i) } in
+        match cells.(i).run ctx with
+        | r -> results.(i) <- Some r
+        | exception e -> record_failure i e (Printexc.get_raw_backtrace ())
+      end
+    in
+    if workers <= 1 then
+      (* Graceful fallback: plain in-process loop, no domain spawned. *)
+      for i = 0 to n - 1 do
+        exec i
+      done
+    else begin
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            exec i;
+            loop ()
+          end
+        in
+        loop ()
+      in
+      (* Domain.join gives the happens-before edge that publishes every
+         worker's writes (results slots, sink contents) to this domain. *)
+      let domains = List.init workers (fun _ -> Domain.spawn worker) in
+      List.iter Domain.join domains
+    end;
+    Array.iter (fun sink -> Registry.merge ~into:telemetry sink) sinks;
+    (match !failure with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.to_list
+      (Array.mapi
+         (fun i r ->
+           match r with
+           | Some r -> r
+           | None -> invalid_arg (Printf.sprintf "Pool.run: cell %d (%s) produced no result" i cells.(i).label))
+         results)
+  end
+
+let map ?jobs ?telemetry f xs = run ?jobs ?telemetry (List.map (fun x -> cell (fun _ctx -> f x)) xs)

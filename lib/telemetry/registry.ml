@@ -147,3 +147,25 @@ let phase_end t p ?(ts = 0) ?(args = []) () =
   end
 
 let phases t = List.rev t.phases_rev
+
+(* ------------------------------------------------------- fork / merge *)
+
+let fork t = if not t.live then disabled else create ~trace_capacity:(Trace.capacity t.tr) ()
+
+let merge ~into child =
+  if into.live && child.live && into != child then begin
+    (* [counters child] is name-sorted, so creation order in [into] is
+       deterministic regardless of how the child populated its tables. *)
+    List.iter (fun (name, v) -> add (counter into name) v) (counters child);
+    Hashtbl.fold (fun name h acc -> (name, h) :: acc) child.hists_tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.iter (fun (name, h) ->
+           let target = histogram into name in
+           for i = 0 to h.h_n - 1 do
+             observe target h.h_buf.(i)
+           done);
+    (* phases_rev is newest-first; prepending the child's list keeps the
+       merged completion order "parent's phases, then the child's". *)
+    into.phases_rev <- child.phases_rev @ into.phases_rev;
+    Trace.append ~into:into.tr child.tr
+  end

@@ -99,3 +99,28 @@ val phase_end : t -> phase -> ?ts:int -> ?args:(string * Trace.arg) list -> unit
 
 val phases : t -> phase_info list
 (** Completed phases, in completion order. *)
+
+(** {2 Per-domain sinks}
+
+    A registry is single-domain mutable state: it must never be written
+    from two domains at once.  Parallel experiment runs
+    ({!Parallel.Pool}) give every cell a {!fork}ed private sink, record
+    into it on whichever worker domain runs the cell, and {!merge} the
+    sinks back into the parent {e in cell-index order after the workers
+    join} — so the combined counters, histograms, phases, and trace are
+    deterministic and identical to a sequential run, never interleaved
+    by the host scheduler. *)
+
+val fork : t -> t
+(** A fresh, empty child sink: live iff [t] is live (forking
+    {!disabled} returns {!disabled} — no allocation), with the same
+    trace capacity.  The child shares no state with [t]; hand it to
+    exactly one domain. *)
+
+val merge : into:t -> t -> unit
+(** [merge ~into child] folds a forked sink back into its parent:
+    counter values are {e added}, histogram observations and completed
+    phases appended, and trace events replayed in order
+    ({!Trace.append}).  No-op when either side is {!disabled} (or both
+    are the same registry).  Call only after the domain that wrote
+    [child] has been joined. *)

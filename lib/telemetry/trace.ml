@@ -48,3 +48,10 @@ let clear t =
   t.head <- 0;
   t.len <- 0;
   t.dropped <- 0
+
+let append ~into child =
+  if into != child && into.cap > 0 then begin
+    List.iter (record into) (to_list child);
+    (* Events the child's own ring already lost stay lost; account them. *)
+    into.dropped <- into.dropped + child.dropped
+  end

@@ -43,3 +43,10 @@ val to_list : t -> event list
 (** Retained events, oldest first. *)
 
 val clear : t -> unit
+
+val append : into:t -> t -> unit
+(** [append ~into child] records [child]'s retained events into [into]
+    in order and adds [child]'s drop count to [into]'s.  No-op when
+    [into] has capacity 0 or is [child] itself.  Used by
+    {!Registry.merge} to fold per-domain trace rings back into the
+    parent in a deterministic order. *)

@@ -10,7 +10,9 @@ let mix64 z =
 (* Global seed override: 0 (the default) leaves every baked-in workload
    seed untouched, so historical runs stay bit-identical; any other value
    perturbs every seeded stream in the process deterministically.  Used by
-   the CLI's --seed flag for sampling-error experiments across seeds. *)
+   the CLI's --seed flag for sampling-error experiments across seeds.
+   Written only at startup (before any worker domain exists); all
+   domains read it unsynchronized thereafter — see rng.mli. *)
 let global_seed = ref 0
 
 let set_global_seed s = global_seed := s
@@ -37,6 +39,14 @@ let derive t label =
      leaving the parent stream untouched. *)
   let h = Hashtbl.hash label in
   { state = mix64 (Int64.add t.state (Int64.of_int ((h * 2) + 1))) }
+
+let for_cell index =
+  if index < 0 then invalid_arg "Rng.for_cell: negative cell index";
+  (* A pure function of (global_seed, index): the base state folds in the
+     global seed via [salted]; the odd per-index offset then keys the
+     cell stream the same way [derive] keys label streams. *)
+  let base = mix64 (Int64.of_int (salted 0x9E3779B9)) in
+  { state = mix64 (Int64.add base (Int64.of_int ((index * 2) + 1))) }
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
@@ -84,11 +94,22 @@ let permutation t n =
    function of (state, n), so memoize it.  The generator state is advanced
    exactly as [permutation] would have (shuffle draws n-1 times, and each
    draw adds the golden gamma to the state), keeping downstream draws
-   bit-identical whether the entry was cached or not. *)
-let perm_memo : (int64 * int, int array) Hashtbl.t = Hashtbl.create 8
+   bit-identical whether the entry was cached or not.
+
+   The memo table is domain-local (Domain.DLS), not mutex-guarded: worker
+   domains in the experiment pool hit this path concurrently, and a
+   per-domain table needs no locking, never shares arrays across domains
+   (so even a caller that ignores the read-only contract cannot corrupt a
+   sibling's stream), and still amortizes the shuffle because each domain
+   runs many cells.  The only cost is one rebuild per domain per
+   distinct (state, n) — noise next to the simulations themselves. *)
+let perm_memo_key : (int64 * int, int array) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
 let perm_memo_capacity = 32
 
 let shared_permutation t n =
+  let perm_memo = Domain.DLS.get perm_memo_key in
   let key = (t.state, n) in
   match Hashtbl.find_opt perm_memo key with
   | Some a ->

@@ -54,7 +54,15 @@ val shared_permutation : t -> int -> int array
     the Fisher–Yates shuffle (the multi-MiB pointer-chase workloads rebuild
     ~2M-entry permutations once per platform otherwise).  The returned
     array MUST be treated as read-only.  The generator state advances
-    exactly as a non-memoized call would. *)
+    exactly as a non-memoized call would.
+
+    The memo table is {e domain-local} (one table per worker domain, via
+    [Domain.DLS]) rather than mutex-guarded: concurrent cells in the
+    experiment pool hit this path, and a per-domain table needs no
+    locking and never shares arrays across domains.  Each domain pays at
+    most one rebuild per distinct (state, n); the memoized result is a
+    pure function of those, so which domain computed it can never be
+    observed in the output. *)
 
 (** {2 Global seed override}
 
@@ -62,10 +70,25 @@ val shared_permutation : t -> int -> int array
     global seed 0 is the identity — every stream is bit-identical to the
     historical fixed-seed behaviour.  Setting a nonzero global seed
     deterministically re-keys every seeded stream in the process, enabling
-    sampling-error experiments across seeds (the CLI's [--seed] flag). *)
+    sampling-error experiments across seeds (the CLI's [--seed] flag).
+
+    {b Parallel-safety contract:} the global seed is {e read-only after
+    startup}.  {!set_global_seed} must only be called before any worker
+    domain exists (the CLI sets it while still single-domain); every
+    domain then reads it without synchronization.  Worker cells never
+    re-seed — they derive per-cell generators from
+    [(global seed, cell index)] via {!for_cell}. *)
 
 val set_global_seed : int -> unit
 val get_global_seed : unit -> int
+
+val for_cell : int -> t
+(** [for_cell i] is the generator for grid cell [i] of a parallel
+    experiment run: a pure function of [(global seed, i)], independent of
+    call order, of which domain evaluates it, and of every other stream
+    in the process — so pooled and sequential executions draw identical
+    randomness per cell.  Raises [Invalid_argument] on a negative
+    index. *)
 
 val salted : int -> int
 (** [salted seed] mixes the global seed into a workload-local seed;

@@ -19,6 +19,7 @@ let () =
       ("report", Test_report.suite);
       ("telemetry", Test_telemetry.suite);
       ("sampling", Test_sampling.suite);
+      ("parallel", Test_parallel.suite);
       ("simbridge", Test_simbridge.suite);
       ("integration", Test_integration.suite);
     ]

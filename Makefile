@@ -1,4 +1,4 @@
-.PHONY: all build test check bench sampling-smoke parallel-smoke clean
+.PHONY: all build test check bench sampling-smoke parallel-smoke perf-smoke clean
 
 # Worker domains for smoke runs (0 = auto); CI passes JOBS=2 so the
 # parallel path is exercised on every push.
@@ -37,6 +37,17 @@ parallel-smoke: build
 	@dune exec bin/simbridge_cli.exe -- run fig1 --jobs 2 > _build/parallel-smoke-par.txt
 	@cmp _build/parallel-smoke-seq.txt _build/parallel-smoke-par.txt \
 		&& echo "parallel-smoke: OK (fig1 --jobs 2 byte-identical to --jobs 1)"
+
+# CI smoke for the compiled-trace engine: fig1/fig2 replayed from
+# compiled traces must be bit-identical to the Seq reference path.
+# Runs the identity half only — the 2x host-MIPS assertion (`bench perf`)
+# is skipped because shared CI runners have no stable throughput to
+# gate on.  Writes BENCH_perf.json (uploaded as a CI artifact).
+# Release profile: the dev profile's -opaque makes throughput numbers
+# meaningless and the identity check needlessly slow.
+perf-smoke:
+	dune build --profile release bench/main.exe
+	dune exec --profile release bench/main.exe -- perf-identity
 
 clean:
 	dune clean

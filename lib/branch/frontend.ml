@@ -88,36 +88,39 @@ let ras_pop t ~target =
     end
     else false
   in
-  t.ras_depth <- max 0 (t.ras_depth - 1);
+  t.ras_depth <- (if t.ras_depth > 0 then t.ras_depth - 1 else 0);
   (* Entries evicted by overflow make deeper returns unpredictable even
      after the stored ones are consumed. *)
   let overflowed = t.ras_depth >= t.ras_size in
   correct && not overflowed
 
-let resolve t (insn : Isa.Insn.t) =
+let resolve_ctrl t ~kind ~pc ~taken ~target =
   t.ctrl_seen <- t.ctrl_seen + 1;
-  let ctrl = match insn.ctrl with Some c -> c | None -> invalid_arg "Frontend.resolve: not a control insn" in
   let correct =
-    match insn.kind with
+    match (kind : Isa.Insn.kind) with
     | Branch ->
-      let predicted = Predictor.predict t.dir ~pc:insn.pc in
-      Predictor.update t.dir ~pc:insn.pc ~taken:ctrl.taken;
-      if predicted <> ctrl.taken then false
-      else if ctrl.taken then btb_lookup t ~pc:insn.pc ~target:ctrl.target
+      let predicted = Predictor.resolve t.dir ~pc ~taken in
+      if predicted <> taken then false
+      else if taken then btb_lookup t ~pc ~target
       else true
-    | Jump -> btb_lookup t ~pc:insn.pc ~target:ctrl.target
+    | Jump -> btb_lookup t ~pc ~target
     | Call ->
-      let hit = btb_lookup t ~pc:insn.pc ~target:ctrl.target in
-      ras_push t (insn.pc + 4);
+      let hit = btb_lookup t ~pc ~target in
+      ras_push t (pc + 4);
       hit
     | Ret ->
-      let ok = ras_pop t ~target:ctrl.target in
+      let ok = ras_pop t ~target in
       if not ok then t.ras_mispredicts <- t.ras_mispredicts + 1;
       ok
     | _ -> invalid_arg "Frontend.resolve: not a control insn"
   in
   if not correct then t.mispredicts <- t.mispredicts + 1;
   correct
+
+let resolve t (insn : Isa.Insn.t) =
+  match insn.ctrl with
+  | Some c -> resolve_ctrl t ~kind:insn.kind ~pc:insn.pc ~taken:c.taken ~target:c.target
+  | None -> invalid_arg "Frontend.resolve: not a control insn"
 
 let stats t =
   {

@@ -34,6 +34,10 @@ val resolve : t -> Isa.Insn.t -> bool
     returns [true] when the frontend predicted both direction and target
     correctly.  [insn] must be a control-flow instruction. *)
 
+val resolve_ctrl : t -> kind:Isa.Insn.kind -> pc:int -> taken:bool -> target:int -> bool
+(** {!resolve} on unpacked scalar fields — the trace-replay form, no
+    [Insn.t] required.  [kind] must be a control-flow kind. *)
+
 val stats : t -> stats
 
 val mispredict_rate : t -> float

@@ -22,4 +22,11 @@ val predict : t -> pc:int -> bool
 val update : t -> pc:int -> taken:bool -> unit
 (** Train with the resolved outcome and advance global history. *)
 
+val resolve : t -> pc:int -> taken:bool -> bool
+(** Fused {!predict} + {!update}: returns the direction that {!predict}
+    would have returned, then trains with [taken].  State transitions are
+    identical to calling the two separately; the fused form walks the
+    predictor tables once and allocates nothing, which is what the replay
+    hot loop wants. *)
+
 val name : config -> string

@@ -12,7 +12,7 @@ type config = {
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
-let config ?(hit_latency = 2) ?(mshrs = 4) ?(banks = 1) ?(write_back = true) ?(line = 64)
+let config ?(hit_latency = 2) ?(mshrs = 4) ?(banks = 1) ?(write_back = true) ?(line = Util.Arch.cache_line_bytes)
     ?(prefetch_next = 0) ~name ~sets ~ways () =
   if not (is_pow2 sets) then invalid_arg "Cache.config: sets must be a power of two";
   if not (is_pow2 line) then invalid_arg "Cache.config: line must be a power of two";
@@ -99,32 +99,68 @@ let bank_of t addr =
   let line = addr lsr t.line_shift in
   line land (t.cfg.banks - 1)
 
+(* Loops below use local refs and unsafe array accesses rather than inner
+   recursive functions — without flambda the latter allocate a closure per
+   call, and these run once per memory access in the replay hot loop.
+   Indices are in range by construction ([set] < sets, [w] < ways). *)
 let find_way t set line =
   let base = set * t.cfg.ways in
-  let rec go w = if w >= t.cfg.ways then -1 else if t.tags.(base + w) = line then base + w else go (w + 1) in
-  go 0
+  let found = ref (-1) in
+  let w = ref 0 in
+  let ways = t.cfg.ways in
+  while !w < ways do
+    if Array.unsafe_get t.tags (base + !w) = line then begin
+      found := base + !w;
+      w := ways
+    end
+    else incr w
+  done;
+  !found
 
 let victim_way t set =
   let base = set * t.cfg.ways in
   let best = ref base in
   for w = 1 to t.cfg.ways - 1 do
     let i = base + w in
-    if t.tags.(i) = -1 && t.tags.(!best) <> -1 then best := i
-    else if t.tags.(i) <> -1 && t.tags.(!best) <> -1 && t.last_use.(i) < t.last_use.(!best) then
-      best := i
+    let tag_i = Array.unsafe_get t.tags i in
+    let tag_b = Array.unsafe_get t.tags !best in
+    if tag_i = -1 && tag_b <> -1 then best := i
+    else if
+      tag_i <> -1 && tag_b <> -1
+      && Array.unsafe_get t.last_use i < Array.unsafe_get t.last_use !best
+    then best := i
   done;
   !best
 
 let touch t slot =
   t.use_clock <- t.use_clock + 1;
-  t.last_use.(slot) <- t.use_clock
+  Array.unsafe_set t.last_use slot t.use_clock
+
+(* Stream table scan / advance, shared by timed and warm access paths. *)
+let stream_hit t line =
+  let n = Array.length t.streams in
+  let hit = ref false in
+  let i = ref 0 in
+  while !i < n do
+    if Array.unsafe_get t.streams !i = line then begin
+      hit := true;
+      i := n
+    end
+    else incr i
+  done;
+  !hit
+
+let stream_advance t line =
+  for i = 0 to Array.length t.streams - 1 do
+    if Array.unsafe_get t.streams i = line then Array.unsafe_set t.streams i (line + t.cfg.line)
+  done
 
 (* Reserve an MSHR for a miss issued at [cycle]; returns the cycle at which
    the miss can actually be sent downstream. *)
 let grab_mshr t cycle =
   let best = ref 0 in
   for i = 1 to t.cfg.mshrs - 1 do
-    if t.mshr_done.(i) < t.mshr_done.(!best) then best := i
+    if Array.unsafe_get t.mshr_done i < Array.unsafe_get t.mshr_done !best then best := i
   done;
   let start =
     if t.mshr_done.(!best) <= cycle then cycle
@@ -190,22 +226,19 @@ let access ?(prefetchable = true) t ~next ~cycle ~addr ~write =
           ~cycle:(start + t.cfg.hit_latency) ~next
     end;
     (* A hit on a line whose refill (e.g. a prefetch) is still in flight
-       waits for the fill. *)
-    max (start + t.cfg.hit_latency) t.fill_done.(slot)
+       waits for the fill.  Int-annotated compare: [Stdlib.max] is
+       polymorphic and costs a call on the per-access fast path. *)
+    let hit_done = start + t.cfg.hit_latency in
+    let fill = Array.unsafe_get t.fill_done slot in
+    if hit_done >= fill then hit_done else fill
   end
   else begin
     t.s_misses <- t.s_misses + 1;
     (* Stream table: a miss matching some stream's expected next line
        confirms that stream; otherwise it allocates a fresh entry.  This
        tracks several interleaved streams (stencil codes touch many). *)
-    let sequential =
-      prefetchable
-      &&
-      let rec find i = i < Array.length t.streams && (t.streams.(i) = line || find (i + 1)) in
-      find 0
-    in
-    (if sequential then
-       Array.iteri (fun i e -> if e = line then t.streams.(i) <- line + t.cfg.line) t.streams
+    let sequential = prefetchable && stream_hit t line in
+    (if sequential then stream_advance t line
      else if prefetchable then begin
        t.streams.(t.stream_rr) <- line + t.cfg.line;
        t.stream_rr <- (t.stream_rr + 1) mod Array.length t.streams
@@ -273,14 +306,8 @@ let warm_access ?(prefetchable = true) t ~(next : warm_next) ~addr ~write =
   end
   else begin
     t.s_misses <- t.s_misses + 1;
-    let sequential =
-      prefetchable
-      &&
-      let rec find i = i < Array.length t.streams && (t.streams.(i) = line || find (i + 1)) in
-      find 0
-    in
-    (if sequential then
-       Array.iteri (fun i e -> if e = line then t.streams.(i) <- line + t.cfg.line) t.streams
+    let sequential = prefetchable && stream_hit t line in
+    (if sequential then stream_advance t line
      else if prefetchable then begin
        t.streams.(t.stream_rr) <- line + t.cfg.line;
        t.stream_rr <- (t.stream_rr + 1) mod Array.length t.streams

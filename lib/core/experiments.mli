@@ -36,13 +36,27 @@ val table5 : unit -> string
     grid order and are bit-identical for every [jobs] value. *)
 
 val fig1 :
-  ?scale:float -> ?policy:Sampling.Policy.t -> ?budget:int -> ?jobs:int -> unit -> figure
+  ?scale:float ->
+  ?policy:Sampling.Policy.t ->
+  ?budget:int ->
+  ?jobs:int ->
+  ?engine:Runner.engine ->
+  unit ->
+  figure
 (** MicroBench on Banana Pi Sim Model and Fast model vs Banana Pi HW.
     [policy] (default [Full]) and [budget] select the sampled fast path
-    (see {!Runner.run_kernel_timed}). *)
+    (see {!Runner.run_kernel_timed}); [engine] (default [`Trace]) selects
+    compiled-trace replay vs the reference [Seq.t] traversal — both
+    produce the identical figure. *)
 
 val fig2 :
-  ?scale:float -> ?policy:Sampling.Policy.t -> ?budget:int -> ?jobs:int -> unit -> figure
+  ?scale:float ->
+  ?policy:Sampling.Policy.t ->
+  ?budget:int ->
+  ?jobs:int ->
+  ?engine:Runner.engine ->
+  unit ->
+  figure
 (** MicroBench on Small/Medium/Large BOOM and MILK-V Sim Model vs MILK-V
     HW. *)
 

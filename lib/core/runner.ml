@@ -27,8 +27,114 @@ type timed = {
   measure_wall_s : float;
 }
 
+type engine = [ `Trace | `Seq ]
+
+(* ------------------------------------------------------- trace cache *)
+
+type trace_cache_stats = { tc_hits : int; tc_misses : int; tc_evictions : int }
+
+(* Compiled traces shared across grid cells: fig1–fig7 run every kernel
+   on several platform columns, and kernels are platform-independent, so
+   one compilation serves the whole column set.  Keyed by (kernel, scale,
+   setup-vs-measured-stream); bounded both by entry count and by total
+   resident words, LRU-evicted; a global mutex guards the table (traces
+   themselves are immutable after compile, so sharing them across worker
+   domains is safe). *)
+module Trace_cache = struct
+  (* Streams may draw from the salted global RNG (e.g. CCh's branch
+     outcomes), so a cached trace is only valid for the seed it was
+     compiled under. *)
+  type key = { kernel : string; scale : float; setup : bool; seed : int }
+
+  let mutex = Mutex.create ()
+  let table : (key, Trace.t * int ref) Hashtbl.t = Hashtbl.create 64
+  let tick = ref 0
+  let words_cached = ref 0
+  let hits = Atomic.make 0
+  let misses = Atomic.make 0
+  let evictions = Atomic.make 0
+
+  (* The figure grids iterate platform-major, so a figure's working set is
+     every (kernel, setup/measure) pair — ~42 keys for fig1/fig2.  The
+     entry bound only caps Hashtbl bookkeeping; the word bound
+     (~3 words/instruction) is what keeps large-scale sweeps from pinning
+     gigabytes of compiled traces. *)
+  let max_entries = 128
+  let max_words = 24_000_000
+
+  let evict_lru () =
+    let victim =
+      Hashtbl.fold
+        (fun k (_, last) acc ->
+          match acc with Some (_, l) when l <= !last -> acc | _ -> Some (k, !last))
+        table None
+    in
+    match victim with
+    | None -> ()
+    | Some (k, _) ->
+      (match Hashtbl.find_opt table k with
+      | Some (tr, _) -> words_cached := !words_cached - Trace.words tr
+      | None -> ());
+      Hashtbl.remove table k;
+      Atomic.incr evictions
+
+  let find_or_compile ~kernel ~scale ~setup f =
+    let key = { kernel; scale; setup; seed = Util.Rng.get_global_seed () } in
+    let cached =
+      Mutex.protect mutex (fun () ->
+          incr tick;
+          match Hashtbl.find_opt table key with
+          | Some (tr, last) ->
+            last := !tick;
+            Some tr
+          | None -> None)
+    in
+    match cached with
+    | Some tr ->
+      Atomic.incr hits;
+      tr
+    | None ->
+      Atomic.incr misses;
+      (* Compile outside the lock: two domains racing on the same key do
+         redundant work at worst, never corruption. *)
+      let tr = f () in
+      let w = Trace.words tr in
+      if w <= max_words then
+        Mutex.protect mutex (fun () ->
+            if not (Hashtbl.mem table key) then begin
+              while
+                Hashtbl.length table > 0
+                && (Hashtbl.length table >= max_entries || !words_cached + w > max_words)
+              do
+                evict_lru ()
+              done;
+              Hashtbl.add table key (tr, ref !tick);
+              words_cached := !words_cached + w
+            end);
+      tr
+
+  let stats () =
+    {
+      tc_hits = Atomic.get hits;
+      tc_misses = Atomic.get misses;
+      tc_evictions = Atomic.get evictions;
+    }
+
+  let clear () =
+    Mutex.protect mutex (fun () ->
+        Hashtbl.reset table;
+        words_cached := 0);
+    Atomic.set hits 0;
+    Atomic.set misses 0;
+    Atomic.set evictions 0
+end
+
+let trace_cache_stats = Trace_cache.stats
+let trace_cache_clear = Trace_cache.clear
+
 let run_kernel_timed ?(scale = 1.0) ?(telemetry = Registry.disabled)
-    ?(policy = Sampling.Policy.Full) ?budget config (kernel : Workloads.Workload.kernel) =
+    ?(policy = Sampling.Policy.Full) ?budget ?(engine : engine = `Trace) config
+    (kernel : Workloads.Workload.kernel) =
   Log.info (fun m ->
       m "kernel %s on %s (scale %.2f, %s)" kernel.Workloads.Workload.name
         config.Platform.Config.name scale (Sampling.Policy.to_string policy));
@@ -46,30 +152,66 @@ let run_kernel_timed ?(scale = 1.0) ?(telemetry = Registry.disabled)
     | Some setup ->
       let ph = Registry.phase_start telemetry ~ts:0 "setup" in
       let b =
-        match policy with
-        | Sampling.Policy.Full -> Platform.Soc.run_stream soc (setup ~scale)
-        | Sampling.Policy.Sampled _ ->
-          Seq.iter (Platform.Soc.warm_insn soc) (setup ~scale);
-          Platform.Soc.collect_result soc ~ranks:1 ~comm:None
+        match engine with
+        | `Seq -> (
+          match policy with
+          | Sampling.Policy.Full -> Platform.Soc.run_stream soc (setup ~scale)
+          | Sampling.Policy.Sampled _ ->
+            Seq.iter (Platform.Soc.warm_insn soc) (setup ~scale);
+            Platform.Soc.collect_result soc ~ranks:1 ~comm:None)
+        | `Trace -> (
+          let tr =
+            Trace_cache.find_or_compile ~kernel:kernel.Workloads.Workload.name ~scale ~setup:true
+              (fun () -> Trace.compile (setup ~scale))
+          in
+          match policy with
+          | Sampling.Policy.Full -> Platform.Soc.run_trace soc tr
+          | Sampling.Policy.Sampled _ ->
+            Platform.Soc.warm_trace soc tr ~lo:0 ~hi:(Trace.length tr);
+            Platform.Soc.collect_result soc ~ranks:1 ~comm:None)
       in
       Registry.phase_end telemetry ph ~ts:b.Platform.Soc.cycles ~args:(phase_args b) ();
       Some b
+  in
+  (* Acquiring the measured stream's trace (cache fetch or compile)
+     counts as setup, not as measured time: it happens once per (kernel,
+     scale) and is shared by every grid cell replaying that stream, so it
+     belongs with working-set preparation rather than simulation speed. *)
+  let measure_tr =
+    match engine with
+    | `Seq -> None
+    | `Trace ->
+      Some
+        (Trace_cache.find_or_compile ~kernel:kernel.Workloads.Workload.name ~scale ~setup:false
+           (fun () -> Trace.compile (kernel.Workloads.Workload.stream ~scale)))
   in
   let setup_wall_s = Unix.gettimeofday () -. t0 in
   let snapshot = if Registry.enabled telemetry then Platform.Soc.counters soc else [] in
   let ts0 = match before with None -> 0 | Some b -> b.Platform.Soc.cycles in
   let ph = Registry.phase_start telemetry ~ts:ts0 "measure" in
   let iface = Platform.Soc.core_iface soc 0 in
-  let core =
-    {
-      Sampling.Engine.feed = iface.Smpi.feed;
-      warm = Platform.Soc.warm_insn soc;
-      now = iface.Smpi.now;
-    }
-  in
   let t1 = Unix.gettimeofday () in
   let estimate =
-    Sampling.Engine.run ~telemetry ?budget ~policy core (kernel.Workloads.Workload.stream ~scale)
+    match measure_tr with
+    | None ->
+      let core =
+        {
+          Sampling.Engine.feed = iface.Smpi.feed;
+          warm = Platform.Soc.warm_insn soc;
+          now = iface.Smpi.now;
+        }
+      in
+      Sampling.Engine.run ~telemetry ?budget ~policy core (kernel.Workloads.Workload.stream ~scale)
+    | Some tr ->
+      (* The same trace is replayed for warming and detailed intervals —
+         the Seq path re-forces the lazy stream per traversal. *)
+      Sampling.Engine.run_trace ~telemetry ?budget ~policy
+        {
+          Sampling.Engine.feed_range = (fun ~lo ~hi -> Platform.Soc.feed_trace soc tr ~lo ~hi);
+          warm_range = (fun ~lo ~hi -> Platform.Soc.warm_trace soc tr ~lo ~hi);
+          tnow = iface.Smpi.now;
+        }
+        ~len:(Trace.length tr)
   in
   let measure_wall_s = Unix.gettimeofday () -. t1 in
   let r = Platform.Soc.collect_result soc ~ranks:1 ~comm:None in
@@ -128,13 +270,13 @@ let run_app ?(scale = 1.0) ?(codegen = Workloads.Codegen.default) ?(telemetry = 
 let kernel_cell_label (config : Platform.Config.t) (kernel : Workloads.Workload.kernel) =
   config.Platform.Config.name ^ "/" ^ kernel.Workloads.Workload.name
 
-let run_kernel_grid ?scale ?policy ?budget ?jobs ?telemetry grid =
+let run_kernel_grid ?scale ?policy ?budget ?jobs ?telemetry ?engine grid =
   Parallel.Pool.run ?jobs ?telemetry
     (List.map
        (fun (config, kernel) ->
          Parallel.Pool.cell ~label:(kernel_cell_label config kernel) (fun (ctx : Parallel.Pool.ctx) ->
-             run_kernel_timed ?scale ~telemetry:ctx.Parallel.Pool.telemetry ?policy ?budget config
-               kernel))
+             run_kernel_timed ?scale ~telemetry:ctx.Parallel.Pool.telemetry ?policy ?budget ?engine
+               config kernel))
        grid)
 
 let run_app_grid ?scale ?jobs ?telemetry grid =
@@ -153,14 +295,14 @@ let relative_speedup ~(sim : Platform.Soc.result) ~(hw : Platform.Soc.result) =
   if sim.Platform.Soc.seconds <= 0.0 then invalid_arg "relative_speedup: empty simulation run";
   hw.Platform.Soc.seconds /. sim.Platform.Soc.seconds
 
-let kernel_relative ?scale ?policy ?budget ~sim ~hw kernel =
+let kernel_relative ?scale ?policy ?budget ?engine ~sim ~hw kernel =
   (* Under a traversal budget both runs stop at the same instruction
      position (the cutoff is position-based, not timing-based), so the
      estimated-seconds ratio is a pure CPI-per-Hz ratio over an identical
      stream prefix — comparable to the full-run relative speedup whenever
      the kernel is steady-state. *)
-  let s = (run_kernel_timed ?scale ?policy ?budget sim kernel).result in
-  let h = (run_kernel_timed ?scale ?policy ?budget hw kernel).result in
+  let s = (run_kernel_timed ?scale ?policy ?budget ?engine sim kernel).result in
+  let h = (run_kernel_timed ?scale ?policy ?budget ?engine hw kernel).result in
   relative_speedup ~sim:s ~hw:h
 
 let app_relative ?scale ?(mismatched_codegen = true) ~ranks ~sim ~hw app =

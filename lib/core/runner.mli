@@ -16,11 +16,28 @@ type timed = {
   measure_wall_s : float;  (** host wall-clock spent in the measured phase *)
 }
 
+type engine = [ `Trace | `Seq ]
+(** How the measured stream is driven through the timing model.
+    [`Trace] (the default) compiles the kernel's [Seq.t] stream into a
+    flat {!Trace.t} once — cached across grid cells sharing (kernel,
+    scale) — and replays it allocation-free; [`Seq] re-forces the lazy
+    stream per traversal, as the seed did.  Results are bit-identical;
+    only host throughput differs (see [bench perf]). *)
+
+type trace_cache_stats = { tc_hits : int; tc_misses : int; tc_evictions : int }
+
+val trace_cache_stats : unit -> trace_cache_stats
+(** Cumulative process-wide compiled-trace cache counters (all domains). *)
+
+val trace_cache_clear : unit -> unit
+(** Drop every cached trace and zero the counters (benchmark isolation). *)
+
 val run_kernel_timed :
   ?scale:float ->
   ?telemetry:Telemetry.Registry.t ->
   ?policy:Sampling.Policy.t ->
   ?budget:int ->
+  ?engine:engine ->
   Platform.Config.t ->
   Workloads.Workload.kernel ->
   timed
@@ -77,6 +94,7 @@ val run_kernel_grid :
   ?budget:int ->
   ?jobs:int ->
   ?telemetry:Telemetry.Registry.t ->
+  ?engine:engine ->
   (Platform.Config.t * Workloads.Workload.kernel) list ->
   timed list
 (** {!run_kernel_timed} over a (platform, kernel) grid. *)
@@ -96,6 +114,7 @@ val kernel_relative :
   ?scale:float ->
   ?policy:Sampling.Policy.t ->
   ?budget:int ->
+  ?engine:engine ->
   sim:Platform.Config.t ->
   hw:Platform.Config.t ->
   Workloads.Workload.kernel ->

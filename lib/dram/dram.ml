@@ -39,11 +39,14 @@ type chan_stats = {
   chan_occupancy_max : int;
 }
 
-type bank = { mutable open_row : int; mutable ready_ns : float }
-
+(* Per-bank state lives in parallel arrays rather than an array of
+   {open_row; ready_ns} records: a float field in a mixed record is boxed,
+   so every ready-time update would allocate.  Flat [float array] storage
+   keeps the hot path allocation-free with bit-identical arithmetic. *)
 type channel = {
-  banks : bank array;
-  mutable bus_free_ns : float;
+  bank_open_row : int array;  (* -1 = no open row *)
+  bank_ready_ns : float array;
+  bus_free_ns : float array;  (* 1 element; same boxing rationale *)
   queue_done : float array;  (* completion times of in-flight requests *)
   (* Per-channel telemetry: localizes row-buffer behaviour and queue
      pressure to the channel the paper's DRAM-bound kernels saturate. *)
@@ -66,7 +69,7 @@ type t = {
   mutable s_row_empty : int;
   mutable s_row_conflicts : int;
   mutable s_queue_stalls : int;
-  mutable s_data_bus_ns : float;
+  s_data_bus_ns : float array;  (* 1 element; accumulated per request *)
 }
 
 let create cfg =
@@ -74,8 +77,9 @@ let create cfg =
   if cfg.queue_depth <= 0 then invalid_arg "Dram.create: queue_depth";
   let mk_chan _ =
     {
-      banks = Array.init (cfg.ranks * cfg.banks_per_rank) (fun _ -> { open_row = -1; ready_ns = 0.0 });
-      bus_free_ns = 0.0;
+      bank_open_row = Array.make (cfg.ranks * cfg.banks_per_rank) (-1);
+      bank_ready_ns = Array.make (cfg.ranks * cfg.banks_per_rank) 0.0;
+      bus_free_ns = Array.make 1 0.0;
       queue_done = Array.make cfg.queue_depth 0.0;
       c_requests = 0;
       c_row_hits = 0;
@@ -96,7 +100,7 @@ let create cfg =
     s_row_empty = 0;
     s_row_conflicts = 0;
     s_queue_stalls = 0;
-    s_data_bus_ns = 0.0;
+    s_data_bus_ns = Array.make 1 0.0;
   }
 
 let burst_ns cfg =
@@ -108,11 +112,10 @@ let request t ~time_ns ~addr ~write =
   let cfg = t.cfg in
   let line = addr / cfg.line_bytes in
   let chan = t.chans.(line mod cfg.channels) in
-  let nbanks = Array.length chan.banks in
+  let nbanks = Array.length chan.bank_open_row in
   let per_chan_line = line / cfg.channels in
   let bank_i = per_chan_line mod nbanks in
   let row = per_chan_line / nbanks * cfg.line_bytes / cfg.row_bytes in
-  let bank = chan.banks.(bank_i) in
   t.s_requests <- t.s_requests + 1;
   chan.c_requests <- chan.c_requests + 1;
   if write then t.s_writes <- t.s_writes + 1 else t.s_reads <- t.s_reads + 1;
@@ -135,14 +138,18 @@ let request t ~time_ns ~addr ~write =
       chan.queue_done.(!slot)
     end
   in
-  let issue = Float.max admitted (Float.max bank.ready_ns 0.0) +. cfg.ctrl_latency_ns in
+  let open_row = Array.unsafe_get chan.bank_open_row bank_i in
+  let issue =
+    Float.max admitted (Float.max (Array.unsafe_get chan.bank_ready_ns bank_i) 0.0)
+    +. cfg.ctrl_latency_ns
+  in
   let array_ns =
-    if bank.open_row = row then begin
+    if open_row = row then begin
       t.s_row_hits <- t.s_row_hits + 1;
       chan.c_row_hits <- chan.c_row_hits + 1;
       cfg.timing.t_cas_ns
     end
-    else if bank.open_row = -1 then begin
+    else if open_row = -1 then begin
       t.s_row_empty <- t.s_row_empty + 1;
       chan.c_row_empty <- chan.c_row_empty + 1;
       cfg.timing.t_rcd_ns +. cfg.timing.t_cas_ns
@@ -153,14 +160,14 @@ let request t ~time_ns ~addr ~write =
       cfg.timing.t_rp_ns +. cfg.timing.t_rcd_ns +. cfg.timing.t_cas_ns
     end
   in
-  bank.open_row <- row;
+  Array.unsafe_set chan.bank_open_row bank_i row;
   let data_ready = issue +. array_ns in
   let burst = burst_ns cfg in
-  let xfer_start = Float.max data_ready chan.bus_free_ns in
+  let xfer_start = Float.max data_ready (Array.unsafe_get chan.bus_free_ns 0) in
   let completion = xfer_start +. burst in
-  chan.bus_free_ns <- completion;
-  t.s_data_bus_ns <- t.s_data_bus_ns +. burst;
-  bank.ready_ns <- data_ready;
+  Array.unsafe_set chan.bus_free_ns 0 completion;
+  Array.unsafe_set t.s_data_bus_ns 0 (Array.unsafe_get t.s_data_bus_ns 0 +. burst);
+  Array.unsafe_set chan.bank_ready_ns bank_i data_ready;
   chan.queue_done.(!slot) <- completion;
   completion
 
@@ -173,7 +180,7 @@ let stats t =
     row_empty = t.s_row_empty;
     row_conflicts = t.s_row_conflicts;
     queue_stalls = t.s_queue_stalls;
-    data_bus_ns = t.s_data_bus_ns;
+    data_bus_ns = t.s_data_bus_ns.(0);
   }
 
 let channel_stats t =
@@ -198,7 +205,7 @@ let reset_stats t =
   t.s_row_empty <- 0;
   t.s_row_conflicts <- 0;
   t.s_queue_stalls <- 0;
-  t.s_data_bus_ns <- 0.0;
+  t.s_data_bus_ns.(0) <- 0.0;
   Array.iter
     (fun c ->
       c.c_requests <- 0;

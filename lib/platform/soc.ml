@@ -347,6 +347,23 @@ let warm_insn soc insn =
   | In c -> Uarch.Inorder.warm c insn
   | Oo c -> Uarch.Ooo.warm c insn
 
+(* Trace replay on core 0: cycle-identical to feeding the equivalent
+   Insn.t stream, without the per-instruction allocation. *)
+
+let feed_trace soc tr ~lo ~hi =
+  match soc.cores.(0) with
+  | In c -> Uarch.Inorder.feed_trace c tr ~lo ~hi
+  | Oo c -> Uarch.Ooo.feed_trace c tr ~lo ~hi
+
+let warm_trace soc tr ~lo ~hi =
+  match soc.cores.(0) with
+  | In c -> Uarch.Inorder.warm_trace c tr ~lo ~hi
+  | Oo c -> Uarch.Ooo.warm_trace c tr ~lo ~hi
+
+let run_trace soc tr =
+  feed_trace soc tr ~lo:0 ~hi:(Trace.length tr);
+  collect soc ~ranks:1 ~comm:None
+
 let memsys_of_core soc i = memsys_for soc i
 
 let core_iface soc i =

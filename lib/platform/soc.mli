@@ -62,6 +62,16 @@ val warm_insn : t -> Isa.Insn.t -> unit
     not (see {!Uarch.Inorder.warm}).  The sampled-simulation engine uses
     this between detailed intervals. *)
 
+val run_trace : t -> Trace.t -> result
+(** {!run_stream} over a compiled trace: cycle-identical results, no
+    per-instruction allocation. *)
+
+val feed_trace : t -> Trace.t -> lo:int -> hi:int -> unit
+(** Detailed-feed trace indices [lo, hi) to core 0. *)
+
+val warm_trace : t -> Trace.t -> lo:int -> hi:int -> unit
+(** Functionally warm core 0 with trace indices [lo, hi). *)
+
 val memsys_of_core : t -> int -> Uarch.Memsys.t
 (** Expose a core's memory-system interface (for tests and calibration). *)
 

@@ -72,11 +72,20 @@ let translate t ~addr =
     0
   end
   else begin
-    (* Fully associative L1 lookup. *)
-    let rec find i =
-      if i >= t.cfg.l1_entries then -1 else if t.l1_pages.(i) = page then i else find (i + 1)
-    in
-    let slot = find 0 in
+    (* Fully associative L1 lookup.  A while loop over a local ref, not an
+       inner recursive function — the latter allocates a closure per call
+       without flambda, and strided kernels land here on most accesses. *)
+    let n = t.cfg.l1_entries in
+    let slot = ref (-1) in
+    let i = ref 0 in
+    while !i < n do
+      if Array.unsafe_get t.l1_pages !i = page then begin
+        slot := !i;
+        i := n
+      end
+      else incr i
+    done;
+    let slot = !slot in
     if slot >= 0 then begin
       t.l1_use.(slot) <- t.clock;
       t.last_page <- page;
@@ -87,8 +96,8 @@ let translate t ~addr =
       t.s_l1_misses <- t.s_l1_misses + 1;
       (* LRU victim in L1. *)
       let victim = ref 0 in
-      for i = 1 to t.cfg.l1_entries - 1 do
-        if t.l1_use.(i) < t.l1_use.(!victim) then victim := i
+      for i = 1 to n - 1 do
+        if Array.unsafe_get t.l1_use i < Array.unsafe_get t.l1_use !victim then victim := i
       done;
       t.l1_pages.(!victim) <- page;
       t.l1_use.(!victim) <- t.clock;

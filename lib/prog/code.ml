@@ -1,12 +1,16 @@
-type allocator = { mutable next : int }
+type allocator = { mutable next : int; line : int }
 type region = { base : int; slots : int }
 
-let create_allocator ?(text_base = 0x10000) () = { next = text_base }
+let create_allocator ?(text_base = 0x10000) ?(line = Util.Arch.cache_line_bytes) () =
+  if line <= 0 || line land (line - 1) <> 0 then
+    invalid_arg "Code.create_allocator: line must be a positive power of two";
+  { next = text_base; line }
 
 let alloc a ~slots =
   if slots <= 0 then invalid_arg "Code.alloc: slots must be positive";
   (* Align regions to icache lines so footprints are as the kernel intends. *)
-  let aligned = (a.next + 63) land lnot 63 in
+  let mask = a.line - 1 in
+  let aligned = (a.next + mask) land lnot mask in
   a.next <- aligned + (slots * 4);
   { base = aligned; slots }
 

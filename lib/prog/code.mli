@@ -14,12 +14,14 @@ type allocator
 
 type region = { base : int; slots : int }
 
-val create_allocator : ?text_base:int -> unit -> allocator
-(** Fresh text segment; default base 0x10000. *)
+val create_allocator : ?text_base:int -> ?line:int -> unit -> allocator
+(** Fresh text segment; default base 0x10000.  [line] is the icache-line
+    alignment granularity for {!alloc} (a positive power of two; default
+    {!Util.Arch.cache_line_bytes}). *)
 
 val alloc : allocator -> slots:int -> region
-(** Allocate a region of [slots] 4-byte instruction slots, 64-byte aligned
-    so regions start on a fresh icache line. *)
+(** Allocate a region of [slots] 4-byte instruction slots, aligned to the
+    allocator's icache-line size so regions start on a fresh line. *)
 
 val pc : region -> int -> int
 (** [pc r slot] is the byte PC of slot [slot] (asserts bounds). *)

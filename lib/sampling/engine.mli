@@ -32,3 +32,28 @@ val run :
     When [telemetry] is a live registry, publishes ["sampling.*"] counters
     (detailed vs warmed instruction and cycle split, interval counts, and
     the achieved simulated-work speedup x100). *)
+
+(** Trace-replay core: range-based callbacks over a compiled trace of
+    [len] instructions (e.g. {!Platform.Soc.feed_trace} /
+    {!Platform.Soc.warm_trace} partially applied to one trace).  Keeping
+    the trace behind callbacks leaves this library independent of the
+    trace representation. *)
+type trace_core = {
+  feed_range : lo:int -> hi:int -> unit;  (** detailed timing over [lo, hi) *)
+  warm_range : lo:int -> hi:int -> unit;  (** functional warming over [lo, hi) *)
+  tnow : unit -> int;  (** completion frontier, cycles *)
+}
+
+val run_trace :
+  ?telemetry:Telemetry.Registry.t ->
+  ?budget:int ->
+  policy:Policy.t ->
+  trace_core ->
+  len:int ->
+  Estimate.t
+(** {!run} over a compiled trace of [len] instructions.  The interval
+    schedule is piecewise constant in the stream position, so each
+    warmup/detailed/warming segment becomes a single range call.
+    Estimates — including budget rounding, per-stratum extrapolation, and
+    the [complete] flag — are identical to [run] over the equivalent
+    stream. *)

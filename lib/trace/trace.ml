@@ -1,0 +1,177 @@
+(* Compiled struct-of-arrays instruction traces.
+
+   A trace holds one retired instruction per index across three flat int
+   arrays:
+
+     pcs.(i)   — the instruction's PC
+     metas.(i) — packed kind/dst/src1/src2/taken/mem-size (layout below)
+     auxs.(i)  — memory address (memory kinds), branch target (control
+                 kinds), 0 otherwise
+
+   Memory and control kinds are mutually exclusive (see Isa.Insn), so one
+   auxiliary array serves both.  Replay consumers index these arrays
+   directly: no Insn.t record, no option boxes, no Seq nodes — the replay
+   loop allocates nothing. *)
+
+(* Meta word layout (low to high):
+   bits 0..4   kind code (17 kinds)
+   bits 5..9   dst register
+   bits 10..14 src1 register
+   bits 15..19 src2 register
+   bit  20     ctrl taken (control kinds; 0 otherwise)
+   bits 21..27 mem access size in bytes (memory kinds; 0 otherwise) *)
+let kind_mask = 0x1f
+let dst_shift = 5
+let src1_shift = 10
+let src2_shift = 15
+let reg_mask = 0x1f
+let taken_bit = 1 lsl 20
+let size_shift = 21
+let size_mask = 0x7f
+let max_mem_size = size_mask
+
+(* Dense codes for Isa.Insn.kind, in declaration order. *)
+let kind_code : Isa.Insn.kind -> int = function
+  | Isa.Insn.Int_alu -> 0
+  | Int_mul -> 1
+  | Int_div -> 2
+  | Fp_add -> 3
+  | Fp_mul -> 4
+  | Fp_div -> 5
+  | Fp_cvt -> 6
+  | Fp_long -> 7
+  | Load -> 8
+  | Store -> 9
+  | Branch -> 10
+  | Jump -> 11
+  | Call -> 12
+  | Ret -> 13
+  | Fence -> 14
+  | Amo -> 15
+  | Nop -> 16
+
+let num_kinds = 17
+
+let kind_of_code : Isa.Insn.kind array =
+  [|
+    Isa.Insn.Int_alu; Int_mul; Int_div; Fp_add; Fp_mul; Fp_div; Fp_cvt; Fp_long; Load; Store;
+    Branch; Jump; Call; Ret; Fence; Amo; Nop;
+  |]
+
+let kind_table = kind_of_code
+let kind_of_meta m = Array.unsafe_get kind_of_code (m land kind_mask)
+let dst_of_meta m = (m lsr dst_shift) land reg_mask
+let src1_of_meta m = (m lsr src1_shift) land reg_mask
+let src2_of_meta m = (m lsr src2_shift) land reg_mask
+let taken_of_meta m = m land taken_bit <> 0
+let size_of_meta m = (m lsr size_shift) land size_mask
+
+let pack ~kind ~dst ~src1 ~src2 ~taken ~size =
+  kind_code kind lor (dst lsl dst_shift) lor (src1 lsl src1_shift) lor (src2 lsl src2_shift)
+  lor (if taken then taken_bit else 0)
+  lor (size lsl size_shift)
+
+type t = {
+  len : int;
+  pcs : int array;
+  metas : int array;
+  auxs : int array;
+  kind_counts : int array;  (* histogram over kind codes, filled at compile *)
+}
+
+let length t = t.len
+let pcs t = t.pcs
+let metas t = t.metas
+let auxs t = t.auxs
+
+let encode (i : Isa.Insn.t) =
+  let is_mem = Isa.Insn.is_mem i.kind and is_ctrl = Isa.Insn.is_ctrl i.kind in
+  (* The packed form can only carry what the timing models consume: memory
+     kinds get an address/size, control kinds a taken/target.  Reject
+     anything the layout would silently drop. *)
+  (match i.mem with
+  | Some m ->
+    if not is_mem then invalid_arg "Trace.compile: mem access on a non-memory kind";
+    if m.Isa.Insn.size < 0 || m.Isa.Insn.size > max_mem_size then
+      invalid_arg "Trace.compile: mem size out of range"
+  | None -> if is_mem then invalid_arg "Trace.compile: memory kind without mem access");
+  (match i.ctrl with
+  | Some _ -> if not is_ctrl then invalid_arg "Trace.compile: ctrl outcome on a non-control kind"
+  | None -> if is_ctrl then invalid_arg "Trace.compile: control kind without ctrl outcome");
+  let taken, size, aux =
+    match (i.mem, i.ctrl) with
+    | Some m, None -> (false, m.Isa.Insn.size, m.Isa.Insn.addr)
+    | None, Some c -> (c.Isa.Insn.taken, 0, c.Isa.Insn.target)
+    | None, None -> (false, 0, 0)
+    | Some _, Some _ -> assert false (* is_mem and is_ctrl are exclusive *)
+  in
+  (pack ~kind:i.kind ~dst:i.dst ~src1:i.src1 ~src2:i.src2 ~taken ~size, aux)
+
+let compile (stream : Isa.Insn.t Seq.t) =
+  let cap = ref 4096 in
+  let pcs = ref (Array.make !cap 0) in
+  let metas = ref (Array.make !cap 0) in
+  let auxs = ref (Array.make !cap 0) in
+  let kind_counts = Array.make num_kinds 0 in
+  let n = ref 0 in
+  let grow () =
+    let cap' = !cap * 2 in
+    let g a = let a' = Array.make cap' 0 in Array.blit !a 0 a' 0 !n; a := a' in
+    g pcs; g metas; g auxs;
+    cap := cap'
+  in
+  Seq.iter
+    (fun (i : Isa.Insn.t) ->
+      if !n = !cap then grow ();
+      let meta, aux = encode i in
+      let j = !n in
+      !pcs.(j) <- i.pc;
+      !metas.(j) <- meta;
+      !auxs.(j) <- aux;
+      kind_counts.(meta land kind_mask) <- kind_counts.(meta land kind_mask) + 1;
+      n := j + 1)
+    stream;
+  let len = !n in
+  let shrink a = if Array.length !a = len then !a else Array.sub !a 0 len in
+  { len; pcs = shrink pcs; metas = shrink metas; auxs = shrink auxs; kind_counts }
+
+let count_kind p t =
+  let n = ref 0 in
+  for c = 0 to num_kinds - 1 do
+    if p kind_of_code.(c) then n := !n + t.kind_counts.(c)
+  done;
+  !n
+
+let check i t =
+  if i < 0 || i >= t.len then invalid_arg "Trace: index out of bounds"
+
+let pc t i = check i t; t.pcs.(i)
+let meta t i = check i t; t.metas.(i)
+let aux t i = check i t; t.auxs.(i)
+
+let insn t i =
+  check i t;
+  let m = t.metas.(i) in
+  let kind = kind_of_meta m in
+  let mem =
+    if Isa.Insn.is_mem kind then Some { Isa.Insn.addr = t.auxs.(i); size = size_of_meta m }
+    else None
+  in
+  let ctrl =
+    if Isa.Insn.is_ctrl kind then Some { Isa.Insn.taken = taken_of_meta m; target = t.auxs.(i) }
+    else None
+  in
+  Isa.Insn.make ?mem ?ctrl ~dst:(dst_of_meta m) ~src1:(src1_of_meta m) ~src2:(src2_of_meta m)
+    ~pc:t.pcs.(i) kind
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (insn t i)
+  done
+
+let to_seq t =
+  let rec go i () = if i >= t.len then Seq.Nil else Seq.Cons (insn t i, go (i + 1)) in
+  go 0
+
+(* Rough resident size: three 8-byte words per instruction plus headers. *)
+let words t = (3 * t.len) + 16

@@ -1,0 +1,87 @@
+(** Compiled struct-of-arrays instruction traces.
+
+    A workload stream ([Isa.Insn.t Seq.t]) costs a record allocation, two
+    option boxes, and a [Seq] node per instruction *per traversal* — and
+    sampled runs traverse a stream for functional warming and detailed
+    timing separately.  [compile] pays the generator cost once and packs
+    the stream into three flat [int array]s (PC / packed metadata /
+    address-or-target); replay consumers then index those arrays directly,
+    allocating nothing per instruction, and the compiled trace can be
+    replayed any number of times (setup, warming, detailed pass, multiple
+    platforms).
+
+    Traces are immutable after [compile] and safe to share across
+    domains. *)
+
+type t
+
+val compile : Isa.Insn.t Seq.t -> t
+(** One pass over the stream.  Raises [Invalid_argument] if an
+    instruction cannot be represented losslessly: a memory access on a
+    non-memory kind, a control outcome on a non-control kind, a missing
+    access/outcome on a kind that requires one, or a memory access wider
+    than {!max_mem_size} bytes. *)
+
+val length : t -> int
+(** O(1) — compare [Gen.length], which forces a full traversal. *)
+
+val count_kind : (Isa.Insn.kind -> bool) -> t -> int
+(** O(number of kinds), from the histogram filled at compile time. *)
+
+(** {2 Packed access}
+
+    The replay hot loops index the arrays below directly.  [metas] words
+    use the layout exposed by the [*_of_meta] accessors; [auxs] holds the
+    memory address for memory kinds, the branch target for control kinds
+    (the two are mutually exclusive), and 0 otherwise. *)
+
+val pcs : t -> int array
+val metas : t -> int array
+val auxs : t -> int array
+
+val kind_of_meta : int -> Isa.Insn.kind
+val dst_of_meta : int -> int
+val src1_of_meta : int -> int
+val src2_of_meta : int -> int
+
+(** Raw layout, for replay loops that want to decode inline rather than
+    through the accessors above: the kind code is
+    [meta land kind_mask] (an index into [kind_table]); registers are
+    [(meta lsr *_shift) land reg_mask]; [taken] is [meta land taken_bit
+    <> 0]; the size is [(meta lsr size_shift) land size_mask].  Do not
+    mutate [kind_table]. *)
+
+val kind_table : Isa.Insn.kind array
+val kind_mask : int
+val dst_shift : int
+val src1_shift : int
+val src2_shift : int
+val reg_mask : int
+val taken_bit : int
+val size_shift : int
+val size_mask : int
+
+val taken_of_meta : int -> bool
+(** Control kinds only; [false] otherwise. *)
+
+val size_of_meta : int -> int
+(** Memory kinds only; 0 otherwise. *)
+
+val max_mem_size : int
+(** Largest representable memory-access size in bytes. *)
+
+(** {2 Element access} *)
+
+val pc : t -> int -> int
+val meta : t -> int -> int
+val aux : t -> int -> int
+
+val insn : t -> int -> Isa.Insn.t
+(** Reconstruct the instruction at an index (allocates; for tests and
+    non-hot consumers). *)
+
+val iter : (Isa.Insn.t -> unit) -> t -> unit
+val to_seq : t -> Isa.Insn.t Seq.t
+
+val words : t -> int
+(** Approximate resident host size in words, for cache budgeting. *)

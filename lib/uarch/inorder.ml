@@ -72,6 +72,9 @@ type t = {
   mutable n_stores : int;
 }
 
+(* Int-specialized max — see {!Ooo.imax}: [Stdlib.max] is polymorphic and
+   costs a call plus a generic comparison at every hot-loop use. *)
+let imax (a : int) (b : int) = if a >= b then a else b
 
 let create cfg mem =
   {
@@ -81,8 +84,8 @@ let create cfg mem =
     reg_ready = Array.make Isa.Insn.num_regs 0;
     issue_slots = Slots.create ~width:cfg.issue_width;
     mem_port = Slots.create ~width:cfg.mem_ports;
-    store_buf = Array.make (max 1 cfg.store_buffer) 0;
-    load_q = Array.make (max 1 cfg.load_queue) 0;
+    store_buf = Array.make (imax 1 cfg.store_buffer) 0;
+    load_q = Array.make (imax 1 cfg.load_queue) 0;
     fetch_line = -1;
     fetch_ready = 0;
     restart = 0;
@@ -95,97 +98,127 @@ let create cfg mem =
 
 let bump t c = if c > t.frontier then t.frontier <- c
 
-let src_ready t (i : Isa.Insn.t) =
-  let r1 = if i.src1 = Isa.Insn.zero_reg then 0 else t.reg_ready.(i.src1) in
-  let r2 = if i.src2 = Isa.Insn.zero_reg then 0 else t.reg_ready.(i.src2) in
-  max r1 r2
-
-let set_dst t (i : Isa.Insn.t) cycle =
-  if i.dst <> Isa.Insn.zero_reg then t.reg_ready.(i.dst) <- cycle
-
 (* Demand-fetch the icache line holding [pc] if the frontend moved to a new
    line; a taken transfer also restarts line streaming. *)
 let fetch t pc earliest =
-  let line = pc lsr 6 in
+  let line = pc lsr Util.Arch.cache_line_shift in
   if line <> t.fetch_line then begin
     t.fetch_line <- line;
     t.fetch_ready <- t.mem.Memsys.ifetch ~cycle:earliest ~pc
   end;
-  max earliest t.fetch_ready
+  imax earliest t.fetch_ready
 
-let grab_slot q earliest =
+(* Index of the earliest-free entry; callers read q.(i) themselves rather
+   than receiving a (slot, ready) pair — a tuple allocation per memory
+   instruction otherwise.  One scan per memory instruction: running
+   minimum in a local, no bounds checks. *)
+let grab_slot q =
   let best = ref 0 in
+  let bestv = ref (Array.unsafe_get q 0) in
   for i = 1 to Array.length q - 1 do
-    if q.(i) < q.(!best) then best := i
+    let v = Array.unsafe_get q i in
+    if v < !bestv then begin
+      best := i;
+      bestv := v
+    end
   done;
-  (!best, max earliest q.(!best))
+  !best
 
-let feed t (i : Isa.Insn.t) =
+(* The timing step on unpacked scalar fields — the single implementation
+   behind both [feed] (unpacking an [Insn.t]) and [feed_trace] (decoding
+   packed trace words); keeping one body guarantees the two paths stay
+   cycle-identical.  [addr]/[size] are meaningful for memory kinds,
+   [taken]/[target] for control kinds; others pass zeros. *)
+let feed_scalar t ~pc ~(kind : Isa.Insn.kind) ~dst ~src1 ~src2 ~addr ~size ~taken ~target =
   t.n_insns <- t.n_insns + 1;
-  let earliest = max t.restart (src_ready t i) in
-  let earliest = fetch t i.pc earliest in
+  let r1 = if src1 = Isa.Insn.zero_reg then 0 else t.reg_ready.(src1) in
+  let r2 = if src2 = Isa.Insn.zero_reg then 0 else t.reg_ready.(src2) in
+  let earliest = imax t.restart (imax r1 r2) in
+  let earliest = fetch t pc earliest in
   let issue = Slots.alloc t.issue_slots earliest in
-  let lat = Isa.Insn.Latency.of_kind t.cfg.latencies i.kind in
-  (match i.kind with
+  let lat = Isa.Insn.Latency.of_kind t.cfg.latencies kind in
+  match kind with
   | Load | Amo ->
     t.n_loads <- t.n_loads + 1;
     (* A full load queue backs the whole pipeline up: nothing younger
        issues until an outstanding load completes. *)
-    let q, qready = grab_slot t.load_q issue in
+    let q = grab_slot t.load_q in
+    let qready = imax issue t.load_q.(q) in
     if qready > issue then Slots.advance t.issue_slots qready;
     let slot = Slots.alloc t.mem_port qready in
-    let mem = match i.mem with Some m -> m | None -> assert false in
-    let extra = if i.kind = Amo then t.cfg.latencies.amo else 0 in
-    let done_ = t.mem.Memsys.load ~cycle:(slot + 1) ~addr:mem.addr ~size:mem.size + extra in
+    let extra = if kind = Amo then t.cfg.latencies.amo else 0 in
+    let done_ = t.mem.Memsys.load ~cycle:(slot + 1) ~addr ~size + extra in
     t.load_q.(q) <- done_;
-    set_dst t i done_;
+    if dst <> Isa.Insn.zero_reg then t.reg_ready.(dst) <- done_;
     bump t done_
   | Store ->
     t.n_stores <- t.n_stores + 1;
     let slot = Slots.alloc t.mem_port issue in
-    let mem = match i.mem with Some m -> m | None -> assert false in
-    let buf, drain_start = grab_slot t.store_buf (slot + 1) in
+    let buf = grab_slot t.store_buf in
+    let drain_start = imax (slot + 1) t.store_buf.(buf) in
     (* A full store buffer likewise stalls the pipeline. *)
     if drain_start > slot + 1 then Slots.advance t.issue_slots drain_start;
-    let done_ = t.mem.Memsys.store ~cycle:drain_start ~addr:mem.addr ~size:mem.size in
+    let done_ = t.mem.Memsys.store ~cycle:drain_start ~addr ~size in
     t.store_buf.(buf) <- done_;
     (* The store leaves the pipeline once buffered; completion is off the
        critical path unless the buffer backs up. *)
     bump t (slot + 1)
   | Branch | Jump | Call | Ret ->
-    let correct = Branch.Frontend.resolve t.frontend i in
+    let correct = Branch.Frontend.resolve_ctrl t.frontend ~kind ~pc ~taken ~target in
     let resolve = issue + 1 in
-    if not correct then t.restart <- max t.restart (resolve + t.cfg.mispredict_penalty);
-    (match i.ctrl with
-    | Some { taken = true; target } ->
-      (* A correctly predicted taken transfer was already steered by the
-         BTB: fetch follows seamlessly, paying the icache only when the
-         target sits on a different line.  A mispredict refetches after
-         resolution. *)
-      let tline = target lsr 6 in
-      if (not correct) || tline <> t.fetch_line then begin
-        t.fetch_line <- tline;
-        let at = if correct then issue else resolve in
-        t.fetch_ready <- t.mem.Memsys.ifetch ~cycle:at ~pc:target
-      end
-    | _ -> ());
-    set_dst t i resolve;
+    if not correct then t.restart <- imax t.restart (resolve + t.cfg.mispredict_penalty);
+    (if taken then begin
+       (* A correctly predicted taken transfer was already steered by the
+          BTB: fetch follows seamlessly, paying the icache only when the
+          target sits on a different line.  A mispredict refetches after
+          resolution. *)
+       let tline = target lsr Util.Arch.cache_line_shift in
+       if (not correct) || tline <> t.fetch_line then begin
+         t.fetch_line <- tline;
+         let at = if correct then issue else resolve in
+         t.fetch_ready <- t.mem.Memsys.ifetch ~cycle:at ~pc:target
+       end
+     end);
+    if dst <> Isa.Insn.zero_reg then t.reg_ready.(dst) <- resolve;
     bump t resolve
   | Int_div | Fp_div | Fp_long ->
     (* Unpipelined unit: one in flight. *)
-    let start = max issue t.div_free in
+    let start = imax issue t.div_free in
     let done_ = start + lat in
     t.div_free <- done_;
-    set_dst t i done_;
+    if dst <> Isa.Insn.zero_reg then t.reg_ready.(dst) <- done_;
     bump t done_
   | Fence ->
-    let done_ = max issue t.frontier + lat in
-    t.restart <- max t.restart done_;
+    let done_ = imax issue t.frontier + lat in
+    t.restart <- imax t.restart done_;
     bump t done_
   | Int_alu | Int_mul | Fp_add | Fp_mul | Fp_cvt | Nop ->
     let done_ = issue + lat in
-    set_dst t i done_;
-    bump t done_)
+    if dst <> Isa.Insn.zero_reg then t.reg_ready.(dst) <- done_;
+    bump t done_
+
+let feed t (i : Isa.Insn.t) =
+  let addr, size = match i.mem with Some m -> (m.addr, m.size) | None -> (0, 0) in
+  let taken, target = match i.ctrl with Some c -> (c.taken, c.target) | None -> (false, 0) in
+  feed_scalar t ~pc:i.pc ~kind:i.kind ~dst:i.dst ~src1:i.src1 ~src2:i.src2 ~addr ~size ~taken
+    ~target
+
+let feed_trace t tr ~lo ~hi =
+  if lo < 0 || hi > Trace.length tr || lo > hi then invalid_arg "Inorder.feed_trace: bad range";
+  let pcs = Trace.pcs tr and metas = Trace.metas tr and auxs = Trace.auxs tr in
+  let kinds = Trace.kind_table in
+  for j = lo to hi - 1 do
+    let m = Array.unsafe_get metas j in
+    feed_scalar t ~pc:(Array.unsafe_get pcs j)
+      ~kind:(Array.unsafe_get kinds (m land Trace.kind_mask))
+      ~dst:((m lsr Trace.dst_shift) land Trace.reg_mask)
+      ~src1:((m lsr Trace.src1_shift) land Trace.reg_mask)
+      ~src2:((m lsr Trace.src2_shift) land Trace.reg_mask)
+      ~addr:(Array.unsafe_get auxs j)
+      ~size:((m lsr Trace.size_shift) land Trace.size_mask)
+      ~taken:(m land Trace.taken_bit <> 0)
+      ~target:(Array.unsafe_get auxs j)
+  done
 
 (* Functional warming (sampled simulation's fast path): update the state
    that persists across intervals — icache/dcache contents via the memory
@@ -194,30 +227,44 @@ let feed t (i : Isa.Insn.t) =
    frontier does not move: warmed fills carry no latency, and the warmup
    window before the next detailed interval re-establishes pipeline
    (queue/slot) pressure before measurement resumes. *)
-let warm t (i : Isa.Insn.t) =
-  let line = i.pc lsr 6 in
+let warm_scalar t ~pc ~(kind : Isa.Insn.kind) ~addr ~size ~taken ~target =
+  let line = pc lsr Util.Arch.cache_line_shift in
   if line <> t.fetch_line then begin
     t.fetch_line <- line;
-    t.mem.Memsys.warm_ifetch ~pc:i.pc
+    t.mem.Memsys.warm_ifetch ~pc
   end;
-  match i.kind with
-  | Load | Amo ->
-    let mem = match i.mem with Some m -> m | None -> assert false in
-    t.mem.Memsys.warm_load ~addr:mem.addr ~size:mem.size
-  | Store ->
-    let mem = match i.mem with Some m -> m | None -> assert false in
-    t.mem.Memsys.warm_store ~addr:mem.addr ~size:mem.size
-  | Branch | Jump | Call | Ret -> (
-    ignore (Branch.Frontend.resolve t.frontend i);
-    match i.ctrl with
-    | Some { taken = true; target } ->
-      let tline = target lsr 6 in
+  match kind with
+  | Load | Amo -> t.mem.Memsys.warm_load ~addr ~size
+  | Store -> t.mem.Memsys.warm_store ~addr ~size
+  | Branch | Jump | Call | Ret ->
+    ignore (Branch.Frontend.resolve_ctrl t.frontend ~kind ~pc ~taken ~target);
+    if taken then begin
+      let tline = target lsr Util.Arch.cache_line_shift in
       if tline <> t.fetch_line then begin
         t.fetch_line <- tline;
         t.mem.Memsys.warm_ifetch ~pc:target
       end
-    | _ -> ())
+    end
   | _ -> ()
+
+let warm t (i : Isa.Insn.t) =
+  let addr, size = match i.mem with Some m -> (m.addr, m.size) | None -> (0, 0) in
+  let taken, target = match i.ctrl with Some c -> (c.taken, c.target) | None -> (false, 0) in
+  warm_scalar t ~pc:i.pc ~kind:i.kind ~addr ~size ~taken ~target
+
+let warm_trace t tr ~lo ~hi =
+  if lo < 0 || hi > Trace.length tr || lo > hi then invalid_arg "Inorder.warm_trace: bad range";
+  let pcs = Trace.pcs tr and metas = Trace.metas tr and auxs = Trace.auxs tr in
+  let kinds = Trace.kind_table in
+  for j = lo to hi - 1 do
+    let m = Array.unsafe_get metas j in
+    warm_scalar t ~pc:(Array.unsafe_get pcs j)
+      ~kind:(Array.unsafe_get kinds (m land Trace.kind_mask))
+      ~addr:(Array.unsafe_get auxs j)
+      ~size:((m lsr Trace.size_shift) land Trace.size_mask)
+      ~taken:(m land Trace.taken_bit <> 0)
+      ~target:(Array.unsafe_get auxs j)
+  done
 
 let run t stream = Seq.iter (feed t) stream
 let now t = t.frontier
@@ -225,7 +272,7 @@ let now t = t.frontier
 let advance_to t cycle =
   if cycle > t.frontier then begin
     t.frontier <- cycle;
-    t.restart <- max t.restart cycle
+    t.restart <- imax t.restart cycle
   end
 
 let stats t =

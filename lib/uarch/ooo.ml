@@ -126,7 +126,7 @@ type t = {
   rob : int array;  (* retire cycle of instruction (i mod rob_entries) *)
   ldq : int array;  (* completion cycles of in-flight loads *)
   stq : int array;
-  mutable idx : int;  (* dynamic instruction index *)
+  mutable rob_ptr : int;  (* dynamic instruction index mod rob_entries *)
   mutable fetch_line : int;
   mutable fetch_ready : int;
   mutable redirect : int;  (* fetch barrier after mispredict / fence *)
@@ -153,7 +153,7 @@ let create cfg mem =
     rob = Array.make cfg.rob_entries 0;
     ldq = Array.make cfg.ldq_entries 0;
     stq = Array.make cfg.stq_entries 0;
-    idx = 0;
+    rob_ptr = 0;
     fetch_line = -1;
     fetch_ready = 0;
     redirect = 0;
@@ -165,100 +165,149 @@ let create cfg mem =
     n_stores = 0;
   }
 
+(* Int-specialized max: [Stdlib.max] is polymorphic, which costs a call
+   plus a generic comparison at every use — feed_scalar makes ~10 such
+   comparisons per simulated instruction. *)
+let imax (a : int) (b : int) = if a >= b then a else b
+
 let bump t c = if c > t.frontier then t.frontier <- c
 
-let src_ready t (i : Isa.Insn.t) =
-  let r1 = if i.src1 = Isa.Insn.zero_reg then 0 else t.reg_ready.(i.src1) in
-  let r2 = if i.src2 = Isa.Insn.zero_reg then 0 else t.reg_ready.(i.src2) in
-  max r1 r2
+(* The load/store queues track only the multiset of in-flight completion
+   cycles: each memory instruction waits on the earliest-completing entry
+   and replaces it with its own completion.  A binary min-heap serves that
+   access pattern in O(log n) per instruction instead of an O(n) scan of
+   up to 32 entries; the minimum — the only value the timing model reads —
+   is identical, so simulated cycles are unchanged. *)
+let heap_min q = Array.unsafe_get q 0
 
-let grab_queue q earliest =
-  let best = ref 0 in
-  for i = 1 to Array.length q - 1 do
-    if q.(i) < q.(!best) then best := i
-  done;
-  (!best, max earliest q.(!best))
+let heap_replace_min q v =
+  let n = Array.length q in
+  Array.unsafe_set q 0 v;
+  let i = ref 0 in
+  let sifting = ref true in
+  while !sifting do
+    let l = (2 * !i) + 1 in
+    if l >= n then sifting := false
+    else begin
+      let r = l + 1 in
+      let s = if r < n && Array.unsafe_get q r < Array.unsafe_get q l then r else l in
+      if Array.unsafe_get q s < Array.unsafe_get q !i then begin
+        let tmp = Array.unsafe_get q !i in
+        Array.unsafe_set q !i (Array.unsafe_get q s);
+        Array.unsafe_set q s tmp;
+        i := s
+      end
+      else sifting := false
+    end
+  done
 
 let fetch t pc earliest =
-  let line = pc lsr 6 in
+  let line = pc lsr Util.Arch.cache_line_shift in
   if line <> t.fetch_line then begin
     t.fetch_line <- line;
     t.fetch_ready <- t.mem.Memsys.ifetch ~cycle:earliest ~pc
   end;
-  max earliest t.fetch_ready
+  imax earliest t.fetch_ready
 
-let feed t (i : Isa.Insn.t) =
+(* The timing step on unpacked scalar fields — single implementation
+   behind [feed] and [feed_trace]; see {!Inorder.feed_scalar} for the
+   field conventions. *)
+let feed_scalar t ~pc ~(kind : Isa.Insn.kind) ~dst ~src1 ~src2 ~addr ~size ~taken ~target =
   t.n_insns <- t.n_insns + 1;
   let cfg = t.cfg in
   (* Fetch: bounded by fetch width, icache, and any pending redirect. *)
-  let f = fetch t i.pc t.redirect in
+  let f = fetch t pc t.redirect in
   let f = Slots.alloc t.fetch_slots f in
   (* Dispatch: decode width + ROB occupancy (entry of the instruction
-     rob_entries older must have retired). *)
-  let rob_slot = t.idx mod cfg.rob_entries in
-  let d = Slots.alloc t.dispatch_slots (max (f + 2) t.rob.(rob_slot)) in
+     rob_entries older must have retired).  [rob_ptr] is the dynamic
+     index pre-reduced mod rob_entries — the wrap below replaces an
+     integer division per instruction. *)
+  let rob_slot = t.rob_ptr in
+  let d = Slots.alloc t.dispatch_slots (imax (f + 2) t.rob.(rob_slot)) in
   (* Execute. *)
-  let ready = max d (src_ready t i) in
-  let lat = Isa.Insn.Latency.of_kind cfg.latencies i.kind in
+  let r1 = if src1 = Isa.Insn.zero_reg then 0 else t.reg_ready.(src1) in
+  let r2 = if src2 = Isa.Insn.zero_reg then 0 else t.reg_ready.(src2) in
+  let ready = imax d (imax r1 r2) in
+  let lat = Isa.Insn.Latency.of_kind cfg.latencies kind in
   let complete =
-    match i.kind with
+    match kind with
     | Load | Amo ->
       t.n_loads <- t.n_loads + 1;
-      let q, qready = grab_queue t.ldq ready in
+      let qready = imax ready (heap_min t.ldq) in
       let port = Slots.alloc t.mem_ports qready in
-      let mem = match i.mem with Some m -> m | None -> assert false in
-      let extra = if i.kind = Amo then cfg.latencies.amo else 0 in
-      let c = t.mem.Memsys.load ~cycle:(port + 1) ~addr:mem.addr ~size:mem.size + extra in
-      t.ldq.(q) <- c;
+      let extra = if kind = Amo then cfg.latencies.amo else 0 in
+      let c = t.mem.Memsys.load ~cycle:(port + 1) ~addr ~size + extra in
+      heap_replace_min t.ldq c;
       c
     | Store ->
       t.n_stores <- t.n_stores + 1;
-      let q, qready = grab_queue t.stq ready in
+      let qready = imax ready (heap_min t.stq) in
       let port = Slots.alloc t.mem_ports qready in
-      let mem = match i.mem with Some m -> m | None -> assert false in
-      let c = t.mem.Memsys.store ~cycle:(port + 1) ~addr:mem.addr ~size:mem.size in
-      t.stq.(q) <- c;
+      let c = t.mem.Memsys.store ~cycle:(port + 1) ~addr ~size in
+      heap_replace_min t.stq c;
       (* Address generation completes quickly; the write drains post-retire.
          The store occupies its STQ slot until the line is written. *)
       port + 1
     | Branch | Jump | Call | Ret ->
       let port = Slots.alloc t.int_ports ready in
       let c = port + 1 in
-      let correct = Branch.Frontend.resolve t.frontend i in
-      if not correct then t.redirect <- max t.redirect (c + cfg.frontend_penalty);
-      (match i.ctrl with
-      | Some { taken = true; target } ->
-        (* Predicted-taken transfers were steered at fetch; only a line
-           change or a mispredict touches the icache path. *)
-        let tline = target lsr 6 in
-        if (not correct) || tline <> t.fetch_line then begin
-          t.fetch_line <- tline;
-          let at = if correct then d else c in
-          t.fetch_ready <- t.mem.Memsys.ifetch ~cycle:at ~pc:target
-        end
-      | _ -> ());
+      let correct = Branch.Frontend.resolve_ctrl t.frontend ~kind ~pc ~taken ~target in
+      if not correct then t.redirect <- imax t.redirect (c + cfg.frontend_penalty);
+      (if taken then begin
+         (* Predicted-taken transfers were steered at fetch; only a line
+            change or a mispredict touches the icache path. *)
+         let tline = target lsr Util.Arch.cache_line_shift in
+         if (not correct) || tline <> t.fetch_line then begin
+           t.fetch_line <- tline;
+           let at = if correct then d else c in
+           t.fetch_ready <- t.mem.Memsys.ifetch ~cycle:at ~pc:target
+         end
+       end);
       c
     | Int_div | Fp_div | Fp_long ->
-      let port = Slots.alloc (if Isa.Insn.is_fp i.kind then t.fp_ports else t.int_ports) ready in
-      let start = max port t.div_free in
+      let port = Slots.alloc (if Isa.Insn.is_fp kind then t.fp_ports else t.int_ports) ready in
+      let start = imax port t.div_free in
       let c = start + lat in
       t.div_free <- c;
       c
     | Fence ->
-      let c = max ready t.frontier + lat in
-      t.redirect <- max t.redirect c;
+      let c = imax ready t.frontier + lat in
+      t.redirect <- imax t.redirect c;
       c
     | Int_alu | Int_mul -> Slots.alloc t.int_ports ready + lat
     | Fp_add | Fp_mul | Fp_cvt -> Slots.alloc t.fp_ports ready + lat
     | Nop -> ready + 1
   in
-  if i.dst <> Isa.Insn.zero_reg then t.reg_ready.(i.dst) <- complete;
+  if dst <> Isa.Insn.zero_reg then t.reg_ready.(dst) <- complete;
   (* In-order retirement. *)
-  let r = Slots.alloc t.retire_slots (max complete t.last_retire) in
+  let r = Slots.alloc t.retire_slots (imax complete t.last_retire) in
   t.last_retire <- r;
   t.rob.(rob_slot) <- r;
-  t.idx <- t.idx + 1;
+  t.rob_ptr <- (let n = rob_slot + 1 in if n = cfg.rob_entries then 0 else n);
   bump t r
+
+let feed t (i : Isa.Insn.t) =
+  let addr, size = match i.mem with Some m -> (m.addr, m.size) | None -> (0, 0) in
+  let taken, target = match i.ctrl with Some c -> (c.taken, c.target) | None -> (false, 0) in
+  feed_scalar t ~pc:i.pc ~kind:i.kind ~dst:i.dst ~src1:i.src1 ~src2:i.src2 ~addr ~size ~taken
+    ~target
+
+let feed_trace t tr ~lo ~hi =
+  if lo < 0 || hi > Trace.length tr || lo > hi then invalid_arg "Ooo.feed_trace: bad range";
+  let pcs = Trace.pcs tr and metas = Trace.metas tr and auxs = Trace.auxs tr in
+  let kinds = Trace.kind_table in
+  for j = lo to hi - 1 do
+    let m = Array.unsafe_get metas j in
+    feed_scalar t ~pc:(Array.unsafe_get pcs j)
+      ~kind:(Array.unsafe_get kinds (m land Trace.kind_mask))
+      ~dst:((m lsr Trace.dst_shift) land Trace.reg_mask)
+      ~src1:((m lsr Trace.src1_shift) land Trace.reg_mask)
+      ~src2:((m lsr Trace.src2_shift) land Trace.reg_mask)
+      ~addr:(Array.unsafe_get auxs j)
+      ~size:((m lsr Trace.size_shift) land Trace.size_mask)
+      ~taken:(m land Trace.taken_bit <> 0)
+      ~target:(Array.unsafe_get auxs j)
+  done
 
 (* Functional warming — see {!Inorder.warm}: caches, TLBs, and the branch
    predictor are updated through the memory system's content-only
@@ -266,30 +315,44 @@ let feed t (i : Isa.Insn.t) =
    frontier, and retired-instruction statistics are not touched.  The
    warmup window before the next detailed interval re-establishes queue
    pressure before measurement resumes. *)
-let warm t (i : Isa.Insn.t) =
-  let line = i.pc lsr 6 in
+let warm_scalar t ~pc ~(kind : Isa.Insn.kind) ~addr ~size ~taken ~target =
+  let line = pc lsr Util.Arch.cache_line_shift in
   if line <> t.fetch_line then begin
     t.fetch_line <- line;
-    t.mem.Memsys.warm_ifetch ~pc:i.pc
+    t.mem.Memsys.warm_ifetch ~pc
   end;
-  match i.kind with
-  | Load | Amo ->
-    let mem = match i.mem with Some m -> m | None -> assert false in
-    t.mem.Memsys.warm_load ~addr:mem.addr ~size:mem.size
-  | Store ->
-    let mem = match i.mem with Some m -> m | None -> assert false in
-    t.mem.Memsys.warm_store ~addr:mem.addr ~size:mem.size
-  | Branch | Jump | Call | Ret -> (
-    ignore (Branch.Frontend.resolve t.frontend i);
-    match i.ctrl with
-    | Some { taken = true; target } ->
-      let tline = target lsr 6 in
+  match kind with
+  | Load | Amo -> t.mem.Memsys.warm_load ~addr ~size
+  | Store -> t.mem.Memsys.warm_store ~addr ~size
+  | Branch | Jump | Call | Ret ->
+    ignore (Branch.Frontend.resolve_ctrl t.frontend ~kind ~pc ~taken ~target);
+    if taken then begin
+      let tline = target lsr Util.Arch.cache_line_shift in
       if tline <> t.fetch_line then begin
         t.fetch_line <- tline;
         t.mem.Memsys.warm_ifetch ~pc:target
       end
-    | _ -> ())
+    end
   | _ -> ()
+
+let warm t (i : Isa.Insn.t) =
+  let addr, size = match i.mem with Some m -> (m.addr, m.size) | None -> (0, 0) in
+  let taken, target = match i.ctrl with Some c -> (c.taken, c.target) | None -> (false, 0) in
+  warm_scalar t ~pc:i.pc ~kind:i.kind ~addr ~size ~taken ~target
+
+let warm_trace t tr ~lo ~hi =
+  if lo < 0 || hi > Trace.length tr || lo > hi then invalid_arg "Ooo.warm_trace: bad range";
+  let pcs = Trace.pcs tr and metas = Trace.metas tr and auxs = Trace.auxs tr in
+  let kinds = Trace.kind_table in
+  for j = lo to hi - 1 do
+    let m = Array.unsafe_get metas j in
+    warm_scalar t ~pc:(Array.unsafe_get pcs j)
+      ~kind:(Array.unsafe_get kinds (m land Trace.kind_mask))
+      ~addr:(Array.unsafe_get auxs j)
+      ~size:((m lsr Trace.size_shift) land Trace.size_mask)
+      ~taken:(m land Trace.taken_bit <> 0)
+      ~target:(Array.unsafe_get auxs j)
+  done
 
 let run t stream = Seq.iter (feed t) stream
 let now t = t.frontier
@@ -297,8 +360,8 @@ let now t = t.frontier
 let advance_to t cycle =
   if cycle > t.frontier then begin
     t.frontier <- cycle;
-    t.redirect <- max t.redirect cycle;
-    t.last_retire <- max t.last_retire cycle
+    t.redirect <- imax t.redirect cycle;
+    t.last_retire <- imax t.last_retire cycle
   end
 
 let stats t =

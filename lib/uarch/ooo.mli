@@ -59,6 +59,14 @@ val create : config -> Memsys.t -> t
 val feed : t -> Isa.Insn.t -> unit
 val run : t -> Isa.Insn.t Seq.t -> unit
 
+val feed_trace : t -> Trace.t -> lo:int -> hi:int -> unit
+(** Retire trace indices [lo, hi): cycle-identical to {!feed}ing the same
+    instructions, but decoding packed trace fields directly — no
+    [Insn.t] reconstruction, no allocation in the loop. *)
+
+val warm_trace : t -> Trace.t -> lo:int -> hi:int -> unit
+(** {!warm} over trace indices [lo, hi), allocation-free. *)
+
 val warm : t -> Isa.Insn.t -> unit
 (** Functional warming for sampled simulation — same contract as
     {!Inorder.warm}: caches, TLBs, and branch predictor state advance;

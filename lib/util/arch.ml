@@ -1,0 +1,8 @@
+(* Architectural constants shared across layers.  The cache line size is
+   referenced from several places that must agree — the cache model's
+   default geometry, the code allocator's region alignment, and the core
+   models' fetch-line tracking — so it lives here once. *)
+
+let cache_line_bytes = 64
+let cache_line_shift = 6
+let () = assert (1 lsl cache_line_shift = cache_line_bytes)

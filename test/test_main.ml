@@ -10,6 +10,7 @@ let () =
       ("dram", Test_dram.suite);
       ("interconnect", Test_interconnect.suite);
       ("uarch", Test_uarch.suite);
+      ("trace", Test_trace.suite);
       ("smpi", Test_smpi.suite);
       ("platform", Test_platform.suite);
       ("firesim", Test_firesim.suite);

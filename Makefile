@@ -1,4 +1,4 @@
-.PHONY: all build test check bench sampling-smoke parallel-smoke perf-smoke clean
+.PHONY: all build test check bench sampling-smoke parallel-smoke perf-smoke validate validate-smoke update-golden clean
 
 # Worker domains for smoke runs (0 = auto); CI passes JOBS=2 so the
 # parallel path is exercised on every push.
@@ -48,6 +48,25 @@ parallel-smoke: build
 perf-smoke:
 	dune build --profile release bench/main.exe
 	dune exec --profile release bench/main.exe -- perf-identity
+
+# The fidelity gate (ISSUE 5): recompute every fig1-7 cell through the
+# Runner and verdict it against results/*.csv plus the transcribed paper
+# expectation bands (results/paper-expectations.json).  --strict because
+# the simulator is deterministic: a healthy tree is fully Exact, so even
+# a within-band wobble is news.  Writes validate-report.json (uploaded
+# as a CI artifact).
+validate: build
+	dune exec bin/simbridge_cli.exe -- validate --strict --jobs $(JOBS) --report validate-report.json
+
+# CI smoke alias: same gate, named like the other smoke steps.
+validate-smoke: validate
+
+# The single sanctioned way to refresh the golden CSVs: regenerates
+# every figure, rewrites results/*.csv, and re-verifies (must end Exact).
+# Commit the resulting diff together with the change that moved the
+# numbers and an EXPERIMENTS.md note on why.
+update-golden: build
+	dune exec bin/simbridge_cli.exe -- validate --update-golden --strict --jobs $(JOBS) --report validate-report.json
 
 clean:
 	dune clean

@@ -57,12 +57,24 @@ let run_sampling_gate () =
 
 (* ------------------------------------------------------ parallel gate *)
 
-(* `bench/main.exe parallel` is the worker pool's acceptance gate: fig1
-   regenerated at jobs=1 and jobs=auto must be bit-identical (structural
-   equality of the figure record AND byte equality of the rendered CSV),
-   and on hosts with >= 4 recommended domains the pooled run must beat
-   the sequential one by >= 2x wall-clock.  fig2 runs the same identity
-   check for coverage of the BOOM grid. *)
+(* `bench/main.exe parallel` is the worker pool's acceptance gate, in
+   two halves:
+
+   (1) identity — fig1 and fig2 regenerated at jobs=1 and jobs>=2 must
+       be bit-identical (structural equality of the figure record AND
+       byte equality of the rendered CSV).  This half always runs: it
+       is a correctness property and holds on any host, including
+       single-core ones (jobs=2 there just time-slices one core).
+   (2) speedup — the pooled fig1 run must beat the sequential one by
+       >= 2x wall-clock.  Asserted only when the host has >= 4
+       *physical* cores (Pool.physical_cores, falling back to
+       recommended_jobs when /proc/cpuinfo has no topology).  GitHub's
+       standard runners expose 4 hyperthreads on 2 physical cores;
+       gating on Domain.recommended_domain_count() made the 2x bar
+       flaky there, because SMT siblings contend for the same
+       execution units.  The identity runs double as the timing
+       source, so waiving the bar costs nothing extra — the wall
+       clocks are still printed for the curious. *)
 let run_parallel_gate () =
   let module E = Simbridge.Experiments in
   let time f =
@@ -71,13 +83,16 @@ let run_parallel_gate () =
     (r, Unix.gettimeofday () -. t0)
   in
   let auto = Parallel.Pool.recommended_jobs () in
+  let physical =
+    match Parallel.Pool.physical_cores () with Some n -> n | None -> auto
+  in
+  (* Identity half: jobs >= 2 so the domain path is exercised even on a
+     single-core host. *)
+  let par_jobs = max 2 (min auto physical) in
   let seq1, seq_wall = time (fun () -> E.fig1 ~jobs:1 ()) in
-  let par1, par_wall = time (fun () -> E.fig1 ~jobs:auto ()) in
+  let par1, par_wall = time (fun () -> E.fig1 ~jobs:par_jobs ()) in
   let seq2, _ = time (fun () -> E.fig2 ~jobs:1 ()) in
-  let par2, _ = time (fun () -> E.fig2 ~jobs:auto ()) in
-  let speedup = if par_wall > 0.0 then seq_wall /. par_wall else 0.0 in
-  Printf.printf "fig1 wall-clock: jobs=1 %.2fs, jobs=%d %.2fs (%.2fx)\n" seq_wall auto par_wall
-    speedup;
+  let par2, _ = time (fun () -> E.fig2 ~jobs:par_jobs ()) in
   let mismatches =
     List.filter
       (fun (_, ok) -> not ok)
@@ -88,15 +103,35 @@ let run_parallel_gate () =
         ("fig2 csv", E.figure_csv seq2 = E.figure_csv par2);
       ]
   in
-  List.iter (fun (what, _) -> Printf.printf "FAIL %s: jobs=%d differs from jobs=1\n" what auto)
+  List.iter
+    (fun (what, _) -> Printf.printf "FAIL %s: jobs=%d differs from jobs=1\n" what par_jobs)
     mismatches;
-  let too_slow = auto >= 4 && speedup < 2.0 in
-  if too_slow then
-    Printf.printf "FAIL wall-clock speedup %.2fx < 2x at jobs=%d (>= 4-core host)\n" speedup auto;
+  (* Speedup half: only where >= 4 physical cores give real headroom. *)
+  let gate_speedup = physical >= 4 in
+  let too_slow =
+    if not gate_speedup then begin
+      Printf.printf
+        "fig1 wall-clock: jobs=1 %.2fs, jobs=%d %.2fs (identity only; %d physical core(s), speedup bar waived)\n"
+        seq_wall par_jobs par_wall physical;
+      false
+    end
+    else begin
+      let speedup = if par_wall > 0.0 then seq_wall /. par_wall else 0.0 in
+      Printf.printf "fig1 wall-clock: jobs=1 %.2fs, jobs=%d %.2fs (%.2fx, %d physical cores)\n"
+        seq_wall par_jobs par_wall speedup physical;
+      if speedup < 2.0 then begin
+        Printf.printf "FAIL wall-clock speedup %.2fx < 2x at jobs=%d (%d physical cores >= 4)\n"
+          speedup par_jobs physical;
+        true
+      end
+      else false
+    end
+  in
   if mismatches <> [] || too_slow then exit 1;
   Printf.printf "parallel gate: PASS (bit-identical across jobs%s)\n%!"
-    (if auto >= 4 then Printf.sprintf ", %.1fx speedup at jobs=%d" speedup auto
-     else Printf.sprintf "; host recommends %d domain(s), speedup bar waived" auto)
+    (if gate_speedup then
+       Printf.sprintf ", %.1fx speedup at jobs=%d" (seq_wall /. par_wall) par_jobs
+     else Printf.sprintf "; %d physical core(s), speedup bar waived" physical)
 
 (* ---------------------------------------------------------- perf gate *)
 

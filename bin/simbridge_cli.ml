@@ -6,7 +6,9 @@
      run EXPERIMENT       regenerate one table/figure (or "all")
      csv FIGURE           emit a figure's data as CSV
      workload NAME        run one workload on one platform and print details
-     tune TARGET          rank candidate models against a silicon reference *)
+     tune TARGET          rank candidate models against a silicon reference
+     validate             fidelity gate: recompute fig1-7 vs golden CSVs +
+                          paper expectation bands *)
 
 open Cmdliner
 
@@ -260,6 +262,68 @@ let dump_raw jobs dir scale =
   write "fig6" (Simbridge.Experiments.fig6 ~scale ());
   write "fig7" (Simbridge.Experiments.fig7 ~scale ())
 
+(* ------------------------------------------------------------ validate *)
+
+(* The fidelity gate (ISSUE 5): recompute figures through the Runner,
+   verdict every cell against the golden CSVs, evaluate the transcribed
+   paper expectations, and write the machine-readable report.  Exit 0
+   only when nothing drifted; --strict also rejects Within_band (a
+   healthy deterministic tree is fully Exact).  --update-golden is the
+   single sanctioned way to refresh results/*.csv. *)
+let run_validate verbose seed jobs figures update_golden strict report_path results_dir
+    expectations_path telemetry_dir =
+  setup_logs verbose;
+  Util.Rng.set_global_seed seed;
+  setup_jobs jobs;
+  let ids =
+    match Validate.Fidelity.expand_spec figures with
+    | Ok ids -> ids
+    | Error msg ->
+      Format.eprintf "bad --figures spec: %s@." msg;
+      exit 1
+  in
+  let expectations =
+    match Validate.Expectations.load expectations_path with
+    | Ok e -> e
+    | Error msg ->
+      Format.eprintf "cannot load expectations %s: %s@." expectations_path msg;
+      exit 1
+  in
+  let reg =
+    match telemetry_dir with
+    | None -> Telemetry.Registry.disabled
+    | Some "" ->
+      Format.eprintf "--telemetry requires a non-empty directory@.";
+      exit 1
+    | Some _ -> Telemetry.Registry.create ()
+  in
+  let report =
+    Validate.Fidelity.run ~telemetry:reg ~update_golden ~results_dir ~expectations ids
+  in
+  if update_golden then
+    List.iter
+      (fun (fr : Validate.Fidelity.figure_report) ->
+        Format.printf "updated %s@." fr.Validate.Fidelity.fr_golden)
+      report.Validate.Fidelity.r_figures;
+  print_string (Validate.Fidelity.render ~strict report);
+  (match report_path with
+  | "" -> ()
+  | path ->
+    let oc = open_out path in
+    output_string oc (Validate.Jsonx.to_string (Validate.Fidelity.to_json ~strict report));
+    output_string oc "\n";
+    close_out oc;
+    Format.printf "report        : %s@." path);
+  (match telemetry_dir with
+  | None -> ()
+  | Some dir ->
+    (try Telemetry.Export.write reg ~dir
+     with Sys_error msg ->
+       Format.eprintf "cannot write telemetry to %s: %s@." dir msg;
+       exit 1);
+    Format.printf "telemetry     : %s/telemetry.txt, telemetry.csv, trace.json@." dir);
+  if not (Validate.Fidelity.ok ~strict report) then exit 1
+
 let run_tune target scale =
   let candidates, hw =
     match target with
@@ -399,6 +463,59 @@ let grid_cmd =
     (Cmd.info "grid" ~doc:"Auto-tune a simulation model against a silicon reference (grid search)")
     Term.(const run_grid $ target $ scale_arg)
 
+let validate_cmd =
+  let figures =
+    Arg.(
+      value & opt string "all"
+      & info [ "figures" ]
+          ~doc:
+            "Comma-separated figures to validate: numbers ($(b,1,2)), ids ($(b,fig4b)), or \
+             $(b,all) (default). $(b,3)/$(b,4) expand to both panels."
+          ~docv:"LIST")
+  in
+  let update_golden =
+    Arg.(
+      value & flag
+      & info [ "update-golden" ]
+          ~doc:
+            "Rewrite the selected golden CSVs under --results from this run, then re-verify. The \
+             single sanctioned way to refresh results/*.csv - golden churn stays an explicit, \
+             reviewable diff.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Also fail on $(b,Within_band) cells: the simulator is deterministic, so a healthy \
+             tree is fully $(b,Exact). CI runs this form.")
+  in
+  let report =
+    Arg.(
+      value & opt string "validate-report.json"
+      & info [ "report" ]
+          ~doc:"Write the machine-readable JSON fidelity report to $(docv) (empty to skip)."
+          ~docv:"FILE")
+  in
+  let results_dir =
+    Arg.(
+      value & opt string "results"
+      & info [ "results" ] ~doc:"Directory holding the golden CSVs." ~docv:"DIR")
+  in
+  let expectations =
+    Arg.(
+      value & opt string "results/paper-expectations.json"
+      & info [ "expectations" ] ~doc:"Paper expectation bands/shapes JSON." ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Fidelity gate: recompute fig1-7, verdict every cell vs the golden CSVs \
+          (Exact/Within_band/Drifted), and check the transcribed paper expectation bands")
+    Term.(
+      const run_validate $ verbose_arg $ seed_arg $ jobs_arg $ figures $ update_golden $ strict
+      $ report $ results_dir $ expectations $ telemetry_arg)
+
 let dump_cmd =
   let dir =
     Arg.(value & opt string "results" & info [ "out"; "o" ] ~doc:"Output directory for CSV files.")
@@ -412,7 +529,7 @@ let main =
        ~doc:"Bridging Simulation and Silicon: FireSim-style models vs RISC-V silicon references")
     [
       platforms_cmd; experiments_cmd; run_cmd; csv_cmd; workload_cmd; tune_cmd; compare_cmd;
-      grid_cmd; dump_cmd;
+      grid_cmd; dump_cmd; validate_cmd;
     ]
 
 let () = exit (Cmd.eval main)

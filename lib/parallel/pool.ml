@@ -14,6 +14,46 @@ type 'r cell = {
 let cell ?(label = "cell") run = { label; run }
 let recommended_jobs () = Domain.recommended_domain_count ()
 
+(* /proc/cpuinfo lists one block per logical CPU; hyperthread siblings
+   share a (physical id, core id) pair, so the number of distinct pairs
+   is the physical core count.  Blocks are separated by blank lines; a
+   block with no topology lines (some ARM kernels, qemu) contributes
+   nothing, and if no block has them we report None rather than guess. *)
+let physical_cores () =
+  match open_in "/proc/cpuinfo" with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let field line key =
+          match String.index_opt line ':' with
+          | Some i when String.trim (String.sub line 0 i) = key ->
+            Some (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+          | _ -> None
+        in
+        let pairs = Hashtbl.create 16 in
+        let phys = ref None and core = ref None in
+        let flush () =
+          (match (!phys, !core) with
+          | Some p, Some c -> Hashtbl.replace pairs (p, c) ()
+          | _ -> ());
+          phys := None;
+          core := None
+        in
+        (try
+           while true do
+             let line = input_line ic in
+             if String.trim line = "" then flush ()
+             else begin
+               (match field line "physical id" with Some v -> phys := Some v | None -> ());
+               match field line "core id" with Some v -> core := Some v | None -> ()
+             end
+           done
+         with End_of_file -> flush ());
+        let n = Hashtbl.length pairs in
+        if n > 0 then Some n else None)
+
 let resolve_jobs jobs =
   if jobs < 0 then invalid_arg "Pool.resolve_jobs: jobs must be >= 0 (0 = auto)"
   else if jobs = 0 then recommended_jobs ()

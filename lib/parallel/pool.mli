@@ -44,6 +44,15 @@ val cell : ?label:string -> (ctx -> 'r) -> 'r cell
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the host's useful parallelism. *)
 
+val physical_cores : unit -> int option
+(** Physical (non-SMT) core count: the number of distinct
+    [(physical id, core id)] pairs in [/proc/cpuinfo].  [None] when the
+    file is missing or holds no such topology (non-Linux hosts, some
+    containers).  Distinct from {!recommended_jobs}, which counts
+    hyperthreads: two cells of this simulator on one physical core
+    contend for the same execution units, so speedup gates should bar
+    on physical cores, not logical ones. *)
+
 val resolve_jobs : int -> int
 (** [resolve_jobs jobs] maps the user-facing jobs count to a worker
     count: [0] (auto) becomes {!recommended_jobs}, positive values pass

@@ -1,0 +1,99 @@
+type t = {
+  headers : string list;
+  rows : (string * string list) list;
+}
+
+(* Split one CSV record into fields, honoring the double-quote escaping
+   Report.Table.to_csv emits.  Golden files never contain embedded
+   newlines, so records are lines. *)
+let split_record line =
+  let fields = ref [] in
+  let buf = Buffer.create 16 in
+  let n = String.length line in
+  let i = ref 0 in
+  let in_quotes = ref false in
+  while !i < n do
+    let c = line.[!i] in
+    (if !in_quotes then
+       if c = '"' then
+         if !i + 1 < n && line.[!i + 1] = '"' then begin
+           Buffer.add_char buf '"';
+           incr i
+         end
+         else in_quotes := false
+       else Buffer.add_char buf c
+     else
+       match c with
+       | '"' -> in_quotes := true
+       | ',' ->
+         fields := Buffer.contents buf :: !fields;
+         Buffer.clear buf
+       | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  fields := Buffer.contents buf :: !fields;
+  List.rev !fields
+
+let of_csv text =
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> l <> "") in
+  match lines with
+  | [] -> Error "empty CSV"
+  | header :: data ->
+    let headers = split_record header in
+    let width = List.length headers in
+    if width < 2 then Error "golden CSV needs an x column plus at least one series"
+    else
+      let rec rows acc = function
+        | [] -> Ok (List.rev acc)
+        | line :: rest -> (
+          match split_record line with
+          | x :: cells when List.length cells = width - 1 -> rows ((x, cells) :: acc) rest
+          | fields ->
+            Error
+              (Printf.sprintf "row %S has %d fields, header has %d"
+                 (String.concat "," fields) (List.length fields) width))
+      in
+      Result.map (fun rows -> { headers; rows }) (rows [] data)
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    of_csv text
+
+(* Mirror Report.Table's quoting so save/load round-trips byte-for-byte
+   against figure_csv output. *)
+let quote s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let line fields = String.concat "," (List.map quote fields) in
+  String.concat "\n" (line t.headers :: List.map (fun (x, cells) -> line (x :: cells)) t.rows)
+  ^ "\n"
+
+let save path t =
+  let oc = open_out_bin path in
+  output_string oc (to_csv t);
+  close_out oc
+
+let of_figure fig =
+  match of_csv (Simbridge.Experiments.figure_csv fig) with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Golden.of_figure: " ^ msg)
+
+let series t = match t.headers with [] -> [] | _ :: s -> s
+
+let cell t ~x ~series:sname =
+  match List.assoc_opt x t.rows with
+  | None -> None
+  | Some cells ->
+    let rec find i = function
+      | [] -> None
+      | s :: _ when s = sname -> List.nth_opt cells i
+      | _ :: rest -> find (i + 1) rest
+    in
+    find 0 (series t)

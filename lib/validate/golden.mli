@@ -1,0 +1,36 @@
+(** Golden-result CSV tables under [results/].
+
+    A golden file is exactly what [Experiments.figure_csv] emits — an
+    ["x"] column of row labels plus one column per series — checked in at
+    scale 1 with the default seed.  This module reads and writes them as
+    raw text cells so [Exact] verdicts are a byte comparison and
+    [--update-golden] round-trips bit-identically. *)
+
+type t = {
+  headers : string list;  (** ["x"; series...] *)
+  rows : (string * string list) list;  (** (x label, raw cell text per series) *)
+}
+
+val of_csv : string -> (t, string) result
+(** Parse CSV text (RFC-4180-style quoting, as {!Report.Table.to_csv}
+    writes it).  Rejects empty input and width-mismatched rows. *)
+
+val load : string -> (t, string) result
+(** [of_csv] over a file's contents. *)
+
+val to_csv : t -> string
+(** Byte-identical inverse of {!of_csv} for tables that came from
+    {!Report.Table.to_csv} (same quoting rule, trailing newline). *)
+
+val save : string -> t -> unit
+(** Write [to_csv] to a path ([--update-golden]'s single write site). *)
+
+val of_figure : Simbridge.Experiments.figure -> t
+(** The golden table a figure would be checked in as — parsed from
+    [figure_csv] so the text cells match the canonical format exactly. *)
+
+val series : t -> string list
+(** Header minus the leading x column. *)
+
+val cell : t -> x:string -> series:string -> string option
+(** Raw cell text, [None] when the row or column is absent. *)

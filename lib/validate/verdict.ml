@@ -1,0 +1,35 @@
+type t =
+  | Exact
+  | Within_band of { expected : float; got : float; delta : float; band : float }
+  | Drifted of { expected : float; got : float; delta : float; band : float }
+
+let rel_delta ~expected ~got =
+  Float.abs (got -. expected) /. Float.max (Float.abs expected) 1e-12
+
+let classify ~band ~expected_text ~got =
+  let expected_text = String.trim expected_text in
+  if Report.Table.cell_f got = expected_text then Exact
+  else
+    match float_of_string_opt expected_text with
+    | None -> Drifted { expected = Float.nan; got; delta = Float.nan; band }
+    | Some expected ->
+      let delta = rel_delta ~expected ~got in
+      if delta <= band then Within_band { expected; got; delta; band }
+      else Drifted { expected; got; delta; band }
+
+let is_exact = function Exact -> true | _ -> false
+let is_drifted = function Drifted _ -> true | _ -> false
+
+let to_string = function
+  | Exact -> "exact"
+  | Within_band _ -> "within-band"
+  | Drifted _ -> "drifted"
+
+let describe = function
+  | Exact -> "exact"
+  | Within_band { expected; got; delta; band } ->
+    Printf.sprintf "within band: expected %s got %s (%.3f%% <= %.1f%%)"
+      (Report.Table.cell_f expected) (Report.Table.cell_f got) (100.0 *. delta) (100.0 *. band)
+  | Drifted { expected; got; delta; band } ->
+    Printf.sprintf "DRIFTED: expected %s got %s (%.2f%% > %.1f%%)" (Report.Table.cell_f expected)
+      (Report.Table.cell_f got) (100.0 *. delta) (100.0 *. band)

@@ -1,0 +1,38 @@
+(** Per-cell fidelity verdicts.
+
+    Every figure cell the validator recomputes is classified against the
+    checked-in golden CSV:
+
+    - [Exact] — the recomputed value formats to the {e same text} the
+      golden CSV holds ({!Report.Table.cell_f} is the canonical cell
+      format, shared with [figure_csv]).  The simulator is deterministic,
+      so on an unregressed tree every cell is [Exact].
+    - [Within_band] — textually different but the relative delta is
+      within the configured band (default 2%): tolerated drift, e.g. a
+      golden file regenerated with a different float printer.
+    - [Drifted] — outside the band: the fidelity regression the gate
+      exists to catch.  Carries the expected/got pair and the delta so
+      CI output names the offending cell's numbers directly. *)
+
+type t =
+  | Exact
+  | Within_band of { expected : float; got : float; delta : float; band : float }
+  | Drifted of { expected : float; got : float; delta : float; band : float }
+
+val rel_delta : expected:float -> got:float -> float
+(** |got - expected| / max |expected| eps — the symmetric-enough relative
+    error used for band classification (goldens are never exactly 0). *)
+
+val classify : band:float -> expected_text:string -> got:float -> t
+(** Classify a recomputed value against the golden cell's raw text.
+    Unparseable golden text classifies as [Drifted] with [expected = nan]
+    (a corrupt golden file must fail the gate, not pass it). *)
+
+val is_exact : t -> bool
+val is_drifted : t -> bool
+
+val to_string : t -> string
+(** ["exact"], ["within-band"], ["drifted"] — the JSON report tags. *)
+
+val describe : t -> string
+(** One-line human rendering including numbers for non-exact verdicts. *)

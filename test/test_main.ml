@@ -22,5 +22,6 @@ let () =
       ("sampling", Test_sampling.suite);
       ("parallel", Test_parallel.suite);
       ("simbridge", Test_simbridge.suite);
+      ("validate", Test_validate.suite);
       ("integration", Test_integration.suite);
     ]

@@ -18,6 +18,17 @@ let test_resolve_jobs () =
     (Invalid_argument "Pool.set_default_jobs: jobs must be >= 0 (0 = auto)") (fun () ->
       Pool.set_default_jobs (-2))
 
+let test_physical_cores () =
+  (* Host-dependent, so only invariants: when /proc/cpuinfo yields a
+     topology the count is a positive number no larger than the logical
+     CPU count (SMT can only multiply cores, never shrink them), and
+     repeated calls agree (the file doesn't change under us). *)
+  match Pool.physical_cores () with
+  | None -> () (* no topology exposed (non-Linux, minimal container) *)
+  | Some n ->
+    Alcotest.(check bool) "physical cores >= 1" true (n >= 1);
+    Alcotest.(check (option int)) "stable across calls" (Some n) (Pool.physical_cores ())
+
 let test_ordering () =
   (* Results must come back in submission order for any job count, even
      when early cells are the slowest. *)
@@ -182,6 +193,7 @@ let prop_pool_equals_sequential =
 let suite =
   [
     Alcotest.test_case "resolve jobs" `Quick test_resolve_jobs;
+    Alcotest.test_case "physical cores" `Quick test_physical_cores;
     Alcotest.test_case "deterministic ordering" `Quick test_ordering;
     Alcotest.test_case "failure propagation" `Quick test_failure_propagation;
     Alcotest.test_case "per-cell rng" `Quick test_per_cell_rng;

@@ -1,4 +1,4 @@
-.PHONY: all build test check bench sampling-smoke parallel-smoke perf-smoke validate validate-smoke update-golden clean
+.PHONY: all build test check bench sampling-smoke parallel-smoke perf-smoke ledger-smoke validate validate-smoke update-golden clean
 
 # Worker domains for smoke runs (0 = auto); CI passes JOBS=2 so the
 # parallel path is exercised on every push.
@@ -49,6 +49,33 @@ perf-smoke:
 	dune build --profile release bench/main.exe
 	dune exec --profile release bench/main.exe -- perf-identity
 
+# CI smoke for the run ledger: a pooled fig1 run must emit a run report
+# and a span-bearing Perfetto trace, two recorded runs must pass the
+# regression gate, and an injected 20% MIPS drop must fail it.
+ledger-smoke: build
+	@rm -f _build/ledger-smoke-history.jsonl
+	@dune exec bin/simbridge_cli.exe -- run fig1 --jobs 2 \
+		--report _build/ledger-report-1.json --trace _build/ledger-trace.json > /dev/null
+	@grep -q '"cat":"span"' _build/ledger-trace.json \
+		&& echo "ledger-smoke: trace carries spans"
+	@grep -q '"parent":' _build/ledger-trace.json \
+		&& echo "ledger-smoke: spans carry parent ids"
+	@dune exec bin/simbridge_cli.exe -- run fig1 --jobs $(JOBS) \
+		--report _build/ledger-report-2.json --trace "" > /dev/null
+	@dune exec bin/simbridge_cli.exe -- history record \
+		--history _build/ledger-smoke-history.jsonl _build/ledger-report-1.json
+	@dune exec bin/simbridge_cli.exe -- history record \
+		--history _build/ledger-smoke-history.jsonl _build/ledger-report-2.json
+	@dune exec bin/simbridge_cli.exe -- history show --history _build/ledger-smoke-history.jsonl
+	@dune exec bin/simbridge_cli.exe -- history check --history _build/ledger-smoke-history.jsonl
+	@python3 -c "import json; lines = open('_build/ledger-smoke-history.jsonl').read().splitlines(); r = json.loads(lines[-1]); r['run_id'] += '-regressed'; r['metrics']['aggregate_mips'] *= 0.8; open('_build/ledger-smoke-regressed.jsonl', 'w').write('\n'.join(lines + [json.dumps(r)]) + '\n')"
+	@if dune exec bin/simbridge_cli.exe -- history check \
+		--history _build/ledger-smoke-regressed.jsonl; then \
+		echo "ledger-smoke: FAIL (injected 20% MIPS regression passed the gate)"; exit 1; \
+	else \
+		echo "ledger-smoke: OK (reports recorded, gate passes, injected regression caught)"; \
+	fi
+
 # The fidelity gate (ISSUE 5): recompute every fig1-7 cell through the
 # Runner and verdict it against results/*.csv plus the transcribed paper
 # expectation bands (results/paper-expectations.json).  --strict because
@@ -56,7 +83,8 @@ perf-smoke:
 # a within-band wobble is news.  Writes validate-report.json (uploaded
 # as a CI artifact).
 validate: build
-	dune exec bin/simbridge_cli.exe -- validate --strict --jobs $(JOBS) --report validate-report.json
+	dune exec bin/simbridge_cli.exe -- validate --strict --jobs $(JOBS) --report validate-report.json \
+		--run-report validate-run-report.json
 
 # CI smoke alias: same gate, named like the other smoke steps.
 validate-smoke: validate

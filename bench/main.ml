@@ -20,7 +20,7 @@ let run_experiment id =
   | Some (_, descr, render) ->
     Printf.printf "=== %s: %s ===\n%!" id descr;
     let t0 = Unix.gettimeofday () in
-    print_string (render ());
+    print_string (render Telemetry.Registry.disabled);
     Printf.printf "(%s regenerated in %.1f s)\n\n%!" id (Unix.gettimeofday () -. t0)
   | None ->
     Printf.eprintf "unknown experiment %s\n" id;
@@ -307,6 +307,34 @@ let run_perf_gate ~identity_only () =
         ("cache_misses", float_of_int cache.Simbridge.Runner.tc_misses);
         ("wall_s", Unix.gettimeofday () -. t0);
       ]);
+  let gate_ok = id_ok && (identity_only || speedup >= 2.0) in
+  (* The gate also files a ledger run report so CI can `history record`
+     bench trajectories alongside figure runs. *)
+  let module J = Validate.Jsonx in
+  let report =
+    Ledger.Run_report.build
+      ~wall_s:(Unix.gettimeofday () -. t0)
+      ~exit_status:(if gate_ok then 0 else 1)
+      ~command:(if identity_only then "bench perf-identity" else "bench perf")
+      ~config:[ ("scale", J.Num perf_scale); ("jobs", J.Num 1.0) ]
+      ~telemetry:Telemetry.Registry.disabled
+      ~extra:
+        [
+          ( "perf",
+            J.Obj
+              [
+                ("aggregate_mips", J.Num agg);
+                ("baseline_aggregate_mips", J.Num (Option.value base_agg ~default:0.0));
+                ("speedup_x", J.Num speedup);
+                ("identity_ok", J.Bool id_ok);
+                ("cache_hits", J.Num (float_of_int cache.Simbridge.Runner.tc_hits));
+                ("cache_misses", J.Num (float_of_int cache.Simbridge.Runner.tc_misses));
+              ] );
+        ]
+      ()
+  in
+  Ledger.Run_report.write ~path:"run-report.json" report;
+  Printf.printf "run report    : run-report.json (%s)\n%!" (Ledger.Run_report.summary_line report);
   if identity_only then begin
     if not id_ok then exit 1;
     Printf.printf "perf identity: PASS (trace MIPS recorded in BENCH_perf.json, no speed bar)\n%!"

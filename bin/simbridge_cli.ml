@@ -8,9 +8,23 @@
      workload NAME        run one workload on one platform and print details
      tune TARGET          rank candidate models against a silicon reference
      validate             fidelity gate: recompute fig1-7 vs golden CSVs +
-                          paper expectation bands *)
+                          paper expectation bands
+     history              run ledger: record reports, trend tables,
+                          regression check
+
+   Observability: run/csv/workload/validate emit a machine-readable
+   run-report.json (lib/ledger) and `run` also writes a span-annotated
+   Chrome trace; all human notices about those files go to stderr so
+   stdout stays byte-identical across job counts (the parallel smoke
+   compares it). *)
 
 open Cmdliner
+
+let num_j n = Validate.Jsonx.Num (float_of_int n)
+
+let write_text path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents)
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
@@ -37,39 +51,95 @@ let list_experiments () =
     (fun (id, descr, _) -> Format.printf "%-12s %s@." id descr)
     Simbridge.Experiments.all
 
-let run_experiment verbose seed jobs id =
+(* Emit the run report (and optionally the Chrome trace) for a finished
+   invocation.  Notices go to stderr: stdout carries only the
+   experiment's own rendering, byte-identical across job counts. *)
+let emit_ledger ?estimate ?fidelity ?(exit_status = 0) ~command ~config ~reg ~wall_s ~report_path
+    ~trace_path () =
+  if report_path <> "" then begin
+    let report =
+      Ledger.Run_report.build ~wall_s ?estimate ?fidelity ~exit_status ~command ~config
+        ~telemetry:reg ()
+    in
+    Ledger.Run_report.write ~path:report_path report;
+    Format.eprintf "run report    : %s (%s)@." report_path (Ledger.Run_report.summary_line report)
+  end;
+  if trace_path <> "" then begin
+    write_text trace_path (Telemetry.Export.chrome_trace reg);
+    Format.eprintf "run trace     : %s (load in ui.perfetto.dev)@." trace_path
+  end
+
+let run_experiment verbose seed jobs trace_capacity report_path trace_path id =
   setup_logs verbose;
   Util.Rng.set_global_seed seed;
   setup_jobs jobs;
-  if id = "all" then
-    List.iter
-      (fun (id, _, render) ->
-        Format.printf "=== %s ===@.%s@." id (render ()))
-      Simbridge.Experiments.all
-  else
-    match List.find_opt (fun (i, _, _) -> i = id) Simbridge.Experiments.all with
-    | Some (_, _, render) -> print_string (render ())
-    | None ->
-      Format.eprintf "unknown experiment %s; try `simbridge experiments`@." id;
-      exit 1
-
-let csv_figure jobs id scale =
-  setup_jobs jobs;
-  let fig =
-    match id with
-    | "fig1" -> Some (Simbridge.Experiments.fig1 ~scale ())
-    | "fig2" -> Some (Simbridge.Experiments.fig2 ~scale ())
-    | "fig5" -> Some (Simbridge.Experiments.fig5 ~scale ())
-    | "fig6" -> Some (Simbridge.Experiments.fig6 ~scale ())
-    | "fig7" -> Some (Simbridge.Experiments.fig7 ~scale ())
-    | "fig3a" -> Some (List.nth (Simbridge.Experiments.fig3 ~scale ()) 0)
-    | "fig3b" -> Some (List.nth (Simbridge.Experiments.fig3 ~scale ()) 1)
-    | "fig4a" -> Some (List.nth (Simbridge.Experiments.fig4 ~scale ()) 0)
-    | "fig4b" -> Some (List.nth (Simbridge.Experiments.fig4 ~scale ()) 1)
-    | _ -> None
+  let observing = report_path <> "" || trace_path <> "" in
+  let reg =
+    if observing then Telemetry.Registry.create ~trace_capacity () else Telemetry.Registry.disabled
   in
+  Ledger.Progress.install_if_tty ();
+  let t0 = Unix.gettimeofday () in
+  Telemetry.Span.root ~name:("run:" ^ id) reg (fun () ->
+      if id = "all" then
+        List.iter
+          (fun (id, _, render) ->
+            Format.printf "=== %s ===@.%s@." id (render reg))
+          Simbridge.Experiments.all
+      else
+        match List.find_opt (fun (i, _, _) -> i = id) Simbridge.Experiments.all with
+        | Some (_, _, render) -> print_string (render reg)
+        | None ->
+          Format.eprintf "unknown experiment %s; try `simbridge experiments`@." id;
+          exit 1);
+  Ledger.Progress.uninstall ();
+  let wall_s = Unix.gettimeofday () -. t0 in
+  emit_ledger ~command:("run " ^ id)
+    ~config:
+      [
+        ("experiment", Validate.Jsonx.Str id);
+        ("seed", num_j seed);
+        ("jobs", num_j jobs);
+        ("trace_capacity", num_j trace_capacity);
+      ]
+    ~reg ~wall_s ~report_path ~trace_path ()
+
+let csv_figure jobs trace_capacity report_path id scale =
+  setup_jobs jobs;
+  let reg =
+    if report_path <> "" then Telemetry.Registry.create ~trace_capacity ()
+    else Telemetry.Registry.disabled
+  in
+  Ledger.Progress.install_if_tty ();
+  let t0 = Unix.gettimeofday () in
+  let fig =
+    Telemetry.Span.root ~name:("csv:" ^ id) reg (fun () ->
+        let telemetry = reg in
+        match id with
+        | "fig1" -> Some (Simbridge.Experiments.fig1 ~scale ~telemetry ())
+        | "fig2" -> Some (Simbridge.Experiments.fig2 ~scale ~telemetry ())
+        | "fig5" -> Some (Simbridge.Experiments.fig5 ~scale ~telemetry ())
+        | "fig6" -> Some (Simbridge.Experiments.fig6 ~scale ~telemetry ())
+        | "fig7" -> Some (Simbridge.Experiments.fig7 ~scale ~telemetry ())
+        | "fig3a" -> Some (List.nth (Simbridge.Experiments.fig3 ~scale ~telemetry ()) 0)
+        | "fig3b" -> Some (List.nth (Simbridge.Experiments.fig3 ~scale ~telemetry ()) 1)
+        | "fig4a" -> Some (List.nth (Simbridge.Experiments.fig4 ~scale ~telemetry ()) 0)
+        | "fig4b" -> Some (List.nth (Simbridge.Experiments.fig4 ~scale ~telemetry ()) 1)
+        | _ -> None)
+  in
+  Ledger.Progress.uninstall ();
+  let wall_s = Unix.gettimeofday () -. t0 in
   match fig with
-  | Some f -> print_string (Simbridge.Experiments.figure_csv f)
+  | Some f ->
+    print_string (Simbridge.Experiments.figure_csv f);
+    emit_ledger ~command:("csv " ^ id)
+      ~config:
+        [
+          ("figure", Validate.Jsonx.Str id);
+          ("scale", Validate.Jsonx.Num scale);
+          ("jobs", num_j jobs);
+          ("trace_capacity", num_j trace_capacity);
+        ]
+      ~reg ~wall_s ~report_path ~trace_path:"" ()
   | None ->
     Format.eprintf "unknown figure %s (fig1, fig2, fig3a, fig3b, fig4a, fig4b, fig5-7)@." id;
     exit 1
@@ -111,8 +181,8 @@ let smoke_check ~tolerance ~reference (est : Sampling.Estimate.t) =
     exit 1
   end
 
-let run_workload verbose name platform ranks scale telemetry_dir seed jobs sample budget
-    expect_cycles tolerance =
+let run_workload verbose name platform ranks scale telemetry_dir seed jobs trace_capacity
+    report_path sample budget expect_cycles tolerance =
   setup_logs verbose;
   Util.Rng.set_global_seed seed;
   setup_jobs jobs;
@@ -132,54 +202,77 @@ let run_workload verbose name platform ranks scale telemetry_dir seed jobs sampl
       Format.eprintf "unknown platform %s; try `simbridge platforms`@." platform;
       exit 1
   in
-  (* Telemetry sidecars: a live registry when --telemetry DIR was given,
-     the zero-cost no-op sink otherwise. *)
+  (* Telemetry sidecars: a live registry when --telemetry DIR was given
+     or a run report is wanted, the zero-cost no-op sink otherwise. *)
   let reg =
     match telemetry_dir with
-    | None -> Telemetry.Registry.disabled
     | Some "" ->
       Format.eprintf "--telemetry requires a non-empty directory@.";
       exit 1
-    | Some _ -> Telemetry.Registry.create ()
-  in
-  let kernel = try Some (Workloads.Microbench.find name) with Not_found -> None in
-  (match kernel with
-  | Some k ->
-    let t = Simbridge.Runner.run_kernel_timed ~scale ~telemetry:reg ~policy ?budget config k in
-    print_result t.Simbridge.Runner.result;
-    Format.printf "host wall     : setup %.4f s + measure %.4f s@." t.Simbridge.Runner.setup_wall_s
-      t.Simbridge.Runner.measure_wall_s;
-    (match policy with
-    | Sampling.Policy.Full -> ()
-    | Sampling.Policy.Sampled _ ->
-      List.iter (fun l -> Format.printf "%s@." l) (Sampling.Report.lines t.Simbridge.Runner.estimate));
-    (match expect_cycles with
-    | None -> ()
-    | Some reference -> smoke_check ~tolerance ~reference t.Simbridge.Runner.estimate)
-  | None ->
-    (match (policy, expect_cycles) with
-    | Sampling.Policy.Sampled _, _ | _, Some _ ->
-      Format.eprintf "--sample/--expect-cycles apply to microbench kernels only@.";
-      exit 1
-    | Sampling.Policy.Full, None -> ());
-    let apps =
-      Workloads.Npb.all @ [ Workloads.Ume.app; Workloads.Lammps.lj; Workloads.Lammps.chain ]
-    in
-    (match List.find_opt (fun (a : Workloads.Workload.app) -> a.app_name = name) apps with
-    | Some app ->
-      let r = Simbridge.Runner.run_app ~scale ~telemetry:reg ~ranks config app in
-      print_result r
+    | Some _ -> Telemetry.Registry.create ~trace_capacity ()
     | None ->
-      Format.eprintf "unknown workload %s (microbench name, cg/ep/is/mg, ume, lammps-lj, lammps-chain)@." name;
-      exit 1));
-  match telemetry_dir with
+      if report_path <> "" then Telemetry.Registry.create ~trace_capacity ()
+      else Telemetry.Registry.disabled
+  in
+  let t0 = Unix.gettimeofday () in
+  let estimate = ref None in
+  let kernel = try Some (Workloads.Microbench.find name) with Not_found -> None in
+  Telemetry.Span.root ~name:("workload:" ^ name) reg (fun () ->
+      match kernel with
+      | Some k ->
+        let t = Simbridge.Runner.run_kernel_timed ~scale ~telemetry:reg ~policy ?budget config k in
+        estimate := Some t.Simbridge.Runner.estimate;
+        print_result t.Simbridge.Runner.result;
+        Format.printf "host wall     : setup %.4f s + measure %.4f s@." t.Simbridge.Runner.setup_wall_s
+          t.Simbridge.Runner.measure_wall_s;
+        (match policy with
+        | Sampling.Policy.Full -> ()
+        | Sampling.Policy.Sampled _ ->
+          List.iter (fun l -> Format.printf "%s@." l) (Sampling.Report.lines t.Simbridge.Runner.estimate));
+        (match expect_cycles with
+        | None -> ()
+        | Some reference -> smoke_check ~tolerance ~reference t.Simbridge.Runner.estimate)
+      | None ->
+        (match (policy, expect_cycles) with
+        | Sampling.Policy.Sampled _, _ | _, Some _ ->
+          Format.eprintf "--sample/--expect-cycles apply to microbench kernels only@.";
+          exit 1
+        | Sampling.Policy.Full, None -> ());
+        let apps =
+          Workloads.Npb.all @ [ Workloads.Ume.app; Workloads.Lammps.lj; Workloads.Lammps.chain ]
+        in
+        (match List.find_opt (fun (a : Workloads.Workload.app) -> a.app_name = name) apps with
+        | Some app ->
+          let r = Simbridge.Runner.run_app ~scale ~telemetry:reg ~ranks config app in
+          print_result r
+        | None ->
+          Format.eprintf
+            "unknown workload %s (microbench name, cg/ep/is/mg, ume, lammps-lj, lammps-chain)@." name;
+          exit 1));
+  let wall_s = Unix.gettimeofday () -. t0 in
+  (match telemetry_dir with
   | None -> ()
   | Some dir ->
     (try Telemetry.Export.write reg ~dir
      with Sys_error msg ->
        Format.eprintf "cannot write telemetry to %s: %s@." dir msg;
        exit 1);
-    Format.printf "telemetry     : %s/telemetry.txt, telemetry.csv, trace.json@." dir
+    Format.printf "telemetry     : %s/telemetry.txt, telemetry.csv, trace.json@." dir);
+  emit_ledger ?estimate:!estimate
+    ~command:(Printf.sprintf "workload %s @ %s" name platform)
+    ~config:
+      [
+        ("workload", Validate.Jsonx.Str name);
+        ("platform", Validate.Jsonx.Str platform);
+        ("ranks", num_j ranks);
+        ("scale", Validate.Jsonx.Num scale);
+        ("seed", num_j seed);
+        ("jobs", num_j jobs);
+        ( "sample",
+          match sample with None -> Validate.Jsonx.Null | Some s -> Validate.Jsonx.Str s );
+        ("trace_capacity", num_j trace_capacity);
+      ]
+    ~reg ~wall_s ~report_path ~trace_path:"" ()
 
 let run_compare name ranks scale =
   (* Side-by-side sim-vs-silicon comparison for both platform pairs. *)
@@ -270,8 +363,8 @@ let dump_raw jobs dir scale =
    only when nothing drifted; --strict also rejects Within_band (a
    healthy deterministic tree is fully Exact).  --update-golden is the
    single sanctioned way to refresh results/*.csv. *)
-let run_validate verbose seed jobs figures update_golden strict report_path results_dir
-    expectations_path telemetry_dir =
+let run_validate verbose seed jobs trace_capacity figures update_golden strict report_path
+    run_report_path results_dir expectations_path telemetry_dir =
   setup_logs verbose;
   Util.Rng.set_global_seed seed;
   setup_jobs jobs;
@@ -291,15 +384,22 @@ let run_validate verbose seed jobs figures update_golden strict report_path resu
   in
   let reg =
     match telemetry_dir with
-    | None -> Telemetry.Registry.disabled
     | Some "" ->
       Format.eprintf "--telemetry requires a non-empty directory@.";
       exit 1
-    | Some _ -> Telemetry.Registry.create ()
+    | Some _ -> Telemetry.Registry.create ~trace_capacity ()
+    | None ->
+      if run_report_path <> "" then Telemetry.Registry.create ~trace_capacity ()
+      else Telemetry.Registry.disabled
   in
+  Ledger.Progress.install_if_tty ();
+  let t0 = Unix.gettimeofday () in
   let report =
-    Validate.Fidelity.run ~telemetry:reg ~update_golden ~results_dir ~expectations ids
+    Telemetry.Span.root ~name:"validate" reg (fun () ->
+        Validate.Fidelity.run ~telemetry:reg ~update_golden ~results_dir ~expectations ids)
   in
+  Ledger.Progress.uninstall ();
+  let wall_s = Unix.gettimeofday () -. t0 in
   if update_golden then
     List.iter
       (fun (fr : Validate.Fidelity.figure_report) ->
@@ -322,7 +422,21 @@ let run_validate verbose seed jobs figures update_golden strict report_path resu
        Format.eprintf "cannot write telemetry to %s: %s@." dir msg;
        exit 1);
     Format.printf "telemetry     : %s/telemetry.txt, telemetry.csv, trace.json@." dir);
-  if not (Validate.Fidelity.ok ~strict report) then exit 1
+  let ok = Validate.Fidelity.ok ~strict report in
+  emit_ledger ~fidelity:(report, strict)
+    ~exit_status:(if ok then 0 else 1)
+    ~command:("validate " ^ figures)
+    ~config:
+      [
+        ("figures", Validate.Jsonx.Str figures);
+        ("strict", Validate.Jsonx.Bool strict);
+        ("update_golden", Validate.Jsonx.Bool update_golden);
+        ("seed", num_j seed);
+        ("jobs", num_j jobs);
+        ("trace_capacity", num_j trace_capacity);
+      ]
+    ~reg ~wall_s ~report_path:run_report_path ~trace_path:"" ();
+  if not ok then exit 1
 
 let run_tune target scale =
   let candidates, hw =
@@ -348,6 +462,79 @@ let run_tune target scale =
   let scores = Simbridge.Tuning.rank_candidates ~scale ~candidates ~hw () in
   print_string (Simbridge.Tuning.render_scores scores)
 
+(* ------------------------------------------------------------- history *)
+
+let load_history path =
+  match Ledger.History.load ~path with
+  | Ok entries -> entries
+  | Error msg ->
+    Format.eprintf "cannot load history %s: %s@." path msg;
+    exit 2
+
+let history_record path report_file =
+  match Validate.Jsonx.parse_file report_file with
+  | Error msg ->
+    Format.eprintf "cannot parse %s: %s@." report_file msg;
+    exit 2
+  | Ok json -> (
+    match Ledger.History.entry_of_report json with
+    | Error msg ->
+      Format.eprintf "%s: %s@." report_file msg;
+      exit 2
+    | Ok e ->
+      Ledger.History.append ~path json;
+      Format.printf "recorded %s (%s) -> %s@." e.Ledger.History.h_run_id
+        e.Ledger.History.h_command path)
+
+let history_show path csv last =
+  let entries = load_history path in
+  let entries =
+    if last > 0 && List.length entries > last then
+      List.filteri (fun i _ -> i >= List.length entries - last) entries
+    else entries
+  in
+  if entries = [] then Format.printf "history %s is empty@." path
+  else print_string (if csv then Ledger.History.to_csv entries else Ledger.History.render entries)
+
+let history_compare path id_a id_b =
+  let entries = load_history path in
+  let find id =
+    let matches e =
+      e.Ledger.History.h_run_id = id
+      || String.length id < String.length e.Ledger.History.h_run_id
+         && String.sub e.Ledger.History.h_run_id 0 (String.length id) = id
+    in
+    (* Prefer the newest match so a date prefix picks the latest run. *)
+    match List.find_opt matches (List.rev entries) with
+    | Some e -> e
+    | None ->
+      Format.eprintf "no history entry matches run id %S in %s@." id path;
+      exit 2
+  in
+  match (id_a, id_b) with
+  | Some a, Some b -> print_string (Ledger.History.compare_ (find a) (find b))
+  | None, None -> (
+    match List.rev entries with
+    | b :: a :: _ -> print_string (Ledger.History.compare_ a b)
+    | _ ->
+      Format.eprintf "history %s holds %d entr%s; need two to compare@." path (List.length entries)
+        (if List.length entries = 1 then "y" else "ies");
+      exit 2)
+  | _ ->
+    Format.eprintf "give two run ids (or none for the last two)@.";
+    exit 2
+
+let history_check path mips_drop =
+  let entries = load_history path in
+  let r = Ledger.History.check ~mips_drop entries in
+  List.iter (fun l -> Format.printf "%s@." l) r.Ledger.History.ck_lines;
+  if not r.Ledger.History.ck_ok then begin
+    Format.eprintf "history check : FAIL (%s)@." path;
+    exit 1
+  end;
+  Format.printf "history check : OK (%d entr%s)@." (List.length entries)
+    (if List.length entries = 1 then "y" else "ies")
+
 (* ------------------------------------------------------------------ cli *)
 
 let scale_arg =
@@ -372,6 +559,23 @@ let jobs_arg =
            (Domain.recommended_domain_count), $(b,1) = sequential in-process, $(b,N) = up to N \
            concurrent simulation cells. Output is bit-identical for every value.")
 
+let trace_capacity_arg =
+  Arg.(
+    value & opt int 65536
+    & info [ "trace-capacity" ]
+        ~doc:
+          "Telemetry trace-ring capacity in events (default 65536). When the ring overflows the \
+           oldest events are dropped and the drop count is reported; raise this for complete \
+           traces of large grids."
+        ~docv:"EVENTS")
+
+let report_arg =
+  Arg.(
+    value & opt string "run-report.json"
+    & info [ "report" ]
+        ~doc:"Write the machine-readable run report to $(docv) (empty to skip)."
+        ~docv:"FILE")
+
 let platforms_cmd =
   Cmd.v (Cmd.info "platforms" ~doc:"List the platform catalog")
     Term.(const list_platforms $ const ())
@@ -382,13 +586,24 @@ let experiments_cmd =
 
 let run_cmd =
   let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT") in
+  let trace =
+    Arg.(
+      value & opt string "run-trace.json"
+      & info [ "trace" ]
+          ~doc:
+            "Write the span-annotated Chrome/Perfetto trace to $(docv) (empty to skip). Spans \
+             carry parent ids, worker lanes, queue waits, and trace-cache hit/miss annotations."
+          ~docv:"FILE")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Regenerate a table or figure (or 'all')")
-    Term.(const run_experiment $ verbose_arg $ seed_arg $ jobs_arg $ id)
+    Term.(
+      const run_experiment $ verbose_arg $ seed_arg $ jobs_arg $ trace_capacity_arg $ report_arg
+      $ trace $ id)
 
 let csv_cmd =
   let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE") in
   Cmd.v (Cmd.info "csv" ~doc:"Emit a figure's data as CSV")
-    Term.(const csv_figure $ jobs_arg $ id $ scale_arg)
+    Term.(const csv_figure $ jobs_arg $ trace_capacity_arg $ report_arg $ id $ scale_arg)
 
 let telemetry_arg =
   Arg.(
@@ -444,7 +659,8 @@ let workload_cmd =
   Cmd.v (Cmd.info "workload" ~doc:"Run one workload on one platform")
     Term.(
       const run_workload $ verbose_arg $ wname $ platform $ ranks $ scale_arg $ telemetry_arg
-      $ seed_arg $ jobs_arg $ sample $ budget $ expect_cycles $ tolerance)
+      $ seed_arg $ jobs_arg $ trace_capacity_arg $ report_arg $ sample $ budget $ expect_cycles
+      $ tolerance)
 
 let tune_cmd =
   let target = Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET") in
@@ -507,14 +723,23 @@ let validate_cmd =
       value & opt string "results/paper-expectations.json"
       & info [ "expectations" ] ~doc:"Paper expectation bands/shapes JSON." ~docv:"FILE")
   in
+  let run_report =
+    Arg.(
+      value & opt string "run-report.json"
+      & info [ "run-report" ]
+          ~doc:
+            "Write the machine-readable run report (distinct from the fidelity $(b,--report)) to \
+             $(docv) (empty to skip)."
+          ~docv:"FILE")
+  in
   Cmd.v
     (Cmd.info "validate"
        ~doc:
          "Fidelity gate: recompute fig1-7, verdict every cell vs the golden CSVs \
           (Exact/Within_band/Drifted), and check the transcribed paper expectation bands")
     Term.(
-      const run_validate $ verbose_arg $ seed_arg $ jobs_arg $ figures $ update_golden $ strict
-      $ report $ results_dir $ expectations $ telemetry_arg)
+      const run_validate $ verbose_arg $ seed_arg $ jobs_arg $ trace_capacity_arg $ figures
+      $ update_golden $ strict $ report $ run_report $ results_dir $ expectations $ telemetry_arg)
 
 let dump_cmd =
   let dir =
@@ -523,13 +748,63 @@ let dump_cmd =
   Cmd.v (Cmd.info "dump-raw" ~doc:"Write every figure's raw data as CSV (as the paper does on GitHub)")
     Term.(const dump_raw $ jobs_arg $ dir $ scale_arg)
 
+let history_cmd =
+  let path =
+    Arg.(
+      value & opt string "results/history.jsonl"
+      & info [ "history" ] ~doc:"History ledger (JSONL of run reports)." ~docv:"FILE")
+  in
+  let record =
+    let report_file =
+      Arg.(value & pos 0 string "run-report.json" & info [] ~docv:"REPORT")
+    in
+    Cmd.v (Cmd.info "record" ~doc:"Append a run report to the history ledger")
+      Term.(const history_record $ path $ report_file)
+  in
+  let show =
+    let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit the trend table as CSV.") in
+    let last =
+      Arg.(value & opt int 0 & info [ "last" ] ~doc:"Show only the newest $(docv) entries (0 = all)." ~docv:"N")
+    in
+    Cmd.v (Cmd.info "show" ~doc:"Render the recorded trend table (MIPS, wall, fidelity over time)")
+      Term.(const history_show $ path $ csv $ last)
+  in
+  let compare =
+    let id_a = Arg.(value & pos 0 (some string) None & info [] ~docv:"RUN_A") in
+    let id_b = Arg.(value & pos 1 (some string) None & info [] ~docv:"RUN_B") in
+    Cmd.v
+      (Cmd.info "compare"
+         ~doc:"Diff two recorded runs by id prefix (default: the last two entries)")
+      Term.(const history_compare $ path $ id_a $ id_b)
+  in
+  let check =
+    let mips_drop =
+      Arg.(
+        value
+        & opt float Ledger.History.default_mips_drop
+        & info [ "mips-drop" ]
+            ~doc:"Fail when aggregate MIPS drops more than this fraction vs the same-host baseline \
+                  (default 0.15)."
+            ~docv:"FRAC")
+    in
+    Cmd.v
+      (Cmd.info "check"
+         ~doc:
+           "Regression gate: exit nonzero when the newest entry drifted fidelity or regressed \
+            aggregate MIPS beyond the threshold")
+      Term.(const history_check $ path $ mips_drop)
+  in
+  Cmd.group
+    (Cmd.info "history" ~doc:"Run ledger: record run reports and track perf/fidelity trends")
+    [ record; show; compare; check ]
+
 let main =
   Cmd.group
     (Cmd.info "simbridge" ~version:"1.0.0"
        ~doc:"Bridging Simulation and Silicon: FireSim-style models vs RISC-V silicon references")
     [
       platforms_cmd; experiments_cmd; run_cmd; csv_cmd; workload_cmd; tune_cmd; compare_cmd;
-      grid_cmd; dump_cmd; validate_cmd;
+      grid_cmd; dump_cmd; validate_cmd; history_cmd;
     ]
 
 let () = exit (Cmd.eval main)

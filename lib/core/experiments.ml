@@ -171,8 +171,8 @@ let chunks n l =
   in
   go [] l
 
-let microbench_figure ?(policy = Sampling.Policy.Full) ?budget ?jobs ?engine ~id ~title ~hw ~sims
-    ~scale () =
+let microbench_figure ?(policy = Sampling.Policy.Full) ?budget ?jobs ?engine
+    ?(telemetry = Telemetry.Registry.disabled) ~id ~title ~hw ~sims ~scale () =
   let kernels = Mb.evaluated in
   let platforms = hw :: sims in
   let nplat = List.length platforms in
@@ -188,9 +188,11 @@ let microbench_figure ?(policy = Sampling.Policy.Full) ?budget ?jobs ?engine ~id
       kernels
   in
   let results =
-    Array.of_list
-      (List.map (fun t -> t.Runner.result)
-         (Runner.run_kernel_grid ~scale ~policy ?budget ?jobs ?engine grid))
+    Telemetry.Registry.span_with telemetry ("figure:" ^ id) (fun () ->
+        Array.of_list
+          (List.map
+             (fun t -> t.Runner.result)
+             (Runner.run_kernel_grid ~scale ~policy ?budget ?jobs ?engine ~telemetry grid)))
   in
   (* Platform row [p]: that platform's result for every kernel, in kernel
      order — cell (kernel ki, platform p) landed at index ki*nplat + p. *)
@@ -217,14 +219,14 @@ let microbench_figure ?(policy = Sampling.Policy.Full) ?budget ?jobs ?engine ~id
   in
   { id; title; note; reference = Some 1.0; series }
 
-let fig1 ?(scale = 1.0) ?policy ?budget ?jobs ?engine () =
-  microbench_figure ?policy ?budget ?jobs ?engine ~id:"fig1"
+let fig1 ?(scale = 1.0) ?policy ?budget ?jobs ?engine ?telemetry () =
+  microbench_figure ?policy ?budget ?jobs ?engine ?telemetry ~id:"fig1"
     ~title:"MicroBench: Rocket models vs Banana Pi hardware" ~hw:Cat.banana_pi_hw
     ~sims:[ Cat.banana_pi_sim; Cat.fast_banana_pi_sim ]
     ~scale ()
 
-let fig2 ?(scale = 1.0) ?policy ?budget ?jobs ?engine () =
-  microbench_figure ?policy ?budget ?jobs ?engine ~id:"fig2"
+let fig2 ?(scale = 1.0) ?policy ?budget ?jobs ?engine ?telemetry () =
+  microbench_figure ?policy ?budget ?jobs ?engine ?telemetry ~id:"fig2"
     ~title:"MicroBench: BOOM models vs MILK-V hardware" ~hw:Cat.milkv_hw
     ~sims:[ Cat.boom_small; Cat.boom_medium; Cat.boom_large; Cat.milkv_sim ]
     ~scale ()
@@ -349,7 +351,8 @@ let sampling_report ?scale () =
       render_sampling_eval (sampling_eval_fig2 ?scale ());
     ]
 
-let npb_figure ?jobs ~id ~title ~hw ~sims ~ranks ~scale () =
+let npb_figure ?jobs ?(telemetry = Telemetry.Registry.disabled) ~id ~title ~hw ~sims ~ranks
+    ~scale () =
   let apps = Npb.all in
   (* Hardware row first (native GCC 13.2 binaries), then each simulation
      model (FireSim-image GCC 9.4 binaries) — one cell per (platform, app). *)
@@ -360,7 +363,10 @@ let npb_figure ?jobs ~id ~title ~hw ~sims ~ranks ~scale () =
       ((hw, Workloads.Codegen.gcc_13_2)
       :: List.map (fun s -> (s, Workloads.Codegen.gcc_9_4)) sims)
   in
-  let results = Runner.run_app_grid ~scale ?jobs grid in
+  let results =
+    Telemetry.Registry.span_with telemetry ("figure:" ^ id) (fun () ->
+        Runner.run_app_grid ~scale ?jobs ~telemetry grid)
+  in
   let series =
     match chunks (List.length apps) results with
     | [] -> []
@@ -387,18 +393,18 @@ let npb_figure ?jobs ~id ~title ~hw ~sims ~ranks ~scale () =
     series;
   }
 
-let fig3 ?(scale = 1.0) ?jobs () =
+let fig3 ?(scale = 1.0) ?jobs ?telemetry () =
   let sims = [ Cat.rocket1; Cat.rocket2; Cat.banana_pi_sim; Cat.fast_banana_pi_sim ] in
   [
-    npb_figure ?jobs ~id:"fig3a" ~title:"NPB on Rocket configs vs Banana Pi (single core)"
+    npb_figure ?jobs ?telemetry ~id:"fig3a" ~title:"NPB on Rocket configs vs Banana Pi (single core)"
       ~hw:Cat.banana_pi_hw ~sims ~ranks:1 ~scale ();
-    npb_figure ?jobs ~id:"fig3b" ~title:"NPB on Rocket configs vs Banana Pi (four cores)"
+    npb_figure ?jobs ?telemetry ~id:"fig3b" ~title:"NPB on Rocket configs vs Banana Pi (four cores)"
       ~hw:Cat.banana_pi_hw ~sims ~ranks:4 ~scale ();
   ]
 
-let fig4 ?(scale = 1.0) ?jobs () =
+let fig4 ?(scale = 1.0) ?jobs ?(telemetry = Telemetry.Registry.disabled) () =
   let a =
-    npb_figure ?jobs ~id:"fig4a" ~title:"NPB on stock BOOM configs vs MILK-V (single core)"
+    npb_figure ?jobs ~telemetry ~id:"fig4a" ~title:"NPB on stock BOOM configs vs MILK-V (single core)"
       ~hw:Cat.milkv_hw
       ~sims:[ Cat.boom_small; Cat.boom_medium; Cat.boom_large ]
       ~ranks:1 ~scale ()
@@ -418,7 +424,10 @@ let fig4 ?(scale = 1.0) ?jobs () =
           Npb.all)
       ranks_list
   in
-  let results = Runner.run_app_grid ~scale ?jobs grid in
+  let results =
+    Telemetry.Registry.span_with telemetry "figure:fig4b" (fun () ->
+        Runner.run_app_grid ~scale ?jobs ~telemetry grid)
+  in
   let rows = chunks (2 * List.length Npb.all) results in
   let series =
     List.map2
@@ -447,7 +456,8 @@ let fig4 ?(scale = 1.0) ?jobs () =
   in
   [ a; b ]
 
-let app_pair_figure ?jobs ~id ~title (app : W.app) ~scale () =
+let app_pair_figure ?jobs ?(telemetry = Telemetry.Registry.disabled) ~id ~title (app : W.app)
+    ~scale () =
   let ranks_list = [ 1; 2; 4 ] in
   let pairs =
     [
@@ -470,7 +480,10 @@ let app_pair_figure ?jobs ~id ~title (app : W.app) ~scale () =
           ranks_list)
       pairs
   in
-  let results = Runner.run_app_grid ~scale ?jobs grid in
+  let results =
+    Telemetry.Registry.span_with telemetry ("figure:" ^ id) (fun () ->
+        Runner.run_app_grid ~scale ?jobs ~telemetry grid)
+  in
   let rows = chunks (2 * List.length ranks_list) results in
   let series =
     List.map2
@@ -496,19 +509,19 @@ let app_pair_figure ?jobs ~id ~title (app : W.app) ~scale () =
     series;
   }
 
-let fig5 ?(scale = 1.0) ?jobs () =
-  app_pair_figure ?jobs ~id:"fig5" ~title:"UME: FireSim models vs hardware" Workloads.Ume.app
+let fig5 ?(scale = 1.0) ?jobs ?telemetry () =
+  app_pair_figure ?jobs ?telemetry ~id:"fig5" ~title:"UME: FireSim models vs hardware" Workloads.Ume.app
     ~scale ()
 
-let fig6 ?(scale = 1.0) ?jobs () =
-  app_pair_figure ?jobs ~id:"fig6" ~title:"LAMMPS Lennard-Jones: FireSim models vs hardware"
+let fig6 ?(scale = 1.0) ?jobs ?telemetry () =
+  app_pair_figure ?jobs ?telemetry ~id:"fig6" ~title:"LAMMPS Lennard-Jones: FireSim models vs hardware"
     Workloads.Lammps.lj ~scale ()
 
-let fig7 ?(scale = 1.0) ?jobs () =
-  app_pair_figure ?jobs ~id:"fig7" ~title:"LAMMPS Chain: FireSim models vs hardware"
+let fig7 ?(scale = 1.0) ?jobs ?telemetry () =
+  app_pair_figure ?jobs ?telemetry ~id:"fig7" ~title:"LAMMPS Chain: FireSim models vs hardware"
     Workloads.Lammps.chain ~scale ()
 
-let app_runtime_table ?(scale = 1.0) ?jobs (app : W.app) =
+let app_runtime_table ?(scale = 1.0) ?jobs ?(telemetry = Telemetry.Registry.disabled) (app : W.app) =
   let platforms = [ Cat.banana_pi_hw; Cat.banana_pi_sim; Cat.milkv_hw; Cat.milkv_sim ] in
   let ranks_list = [ 1; 2; 4 ] in
   (* sim models run the FireSim-image binary, boards the native one *)
@@ -524,7 +537,10 @@ let app_runtime_table ?(scale = 1.0) ?jobs (app : W.app) =
       (fun (p : Platform.Config.t) -> List.map (fun ranks -> (p, codegen_of p, ranks, app)) ranks_list)
       platforms
   in
-  let results = Runner.run_app_grid ~scale ?jobs grid in
+  let results =
+    Telemetry.Registry.span_with telemetry ("runtimes:" ^ app.app_name) (fun () ->
+        Runner.run_app_grid ~scale ?jobs ~telemetry grid)
+  in
   let t = Report.Table.create ~headers:[ "Platform"; "1 rank"; "2 ranks"; "4 ranks" ] in
   List.iter2
     (fun (p : Platform.Config.t) row ->
@@ -698,30 +714,36 @@ let render_figures figs = String.concat "\n" (List.map render_figure figs)
 
 let all =
   [
-    ("table1", "MicroBench kernel inventory", table1);
-    ("table2", "NPB application selection", table2);
-    ("table3", "compiler (codegen) settings", table3);
-    ("table4", "FireSim model configurations", table4);
-    ("table5", "hardware vs simulation-model specs", table5);
-    ("fig1", "MicroBench: Rocket vs Banana Pi", fun () -> render_figure (fig1 ()));
-    ("fig2", "MicroBench: BOOM vs MILK-V", fun () -> render_figure (fig2 ()));
-    ("sampling", "sampled-simulation accuracy vs full (fig1/fig2)", fun () -> sampling_report ());
-    ("fig3", "NPB on Rocket configs (1 and 4 cores)", fun () -> render_figures (fig3 ()));
-    ("fig4", "NPB on BOOM configs (stock and tuned)", fun () -> render_figures (fig4 ()));
-    ("fig5", "UME relative speedup", fun () -> render_figure (fig5 ()));
-    ("fig6", "LAMMPS LJ relative speedup", fun () -> render_figure (fig6 ()));
-    ("fig7", "LAMMPS Chain relative speedup", fun () -> render_figure (fig7 ()));
+    ("table1", "MicroBench kernel inventory", fun (_ : Telemetry.Registry.t) -> table1 ());
+    ("table2", "NPB application selection", fun _ -> table2 ());
+    ("table3", "compiler (codegen) settings", fun _ -> table3 ());
+    ("table4", "FireSim model configurations", fun _ -> table4 ());
+    ("table5", "hardware vs simulation-model specs", fun _ -> table5 ());
+    ("fig1", "MicroBench: Rocket vs Banana Pi", fun reg -> render_figure (fig1 ~telemetry:reg ()));
+    ("fig2", "MicroBench: BOOM vs MILK-V", fun reg -> render_figure (fig2 ~telemetry:reg ()));
+    ("sampling", "sampled-simulation accuracy vs full (fig1/fig2)", fun _ -> sampling_report ());
+    ( "fig3",
+      "NPB on Rocket configs (1 and 4 cores)",
+      fun reg -> render_figures (fig3 ~telemetry:reg ()) );
+    ( "fig4",
+      "NPB on BOOM configs (stock and tuned)",
+      fun reg -> render_figures (fig4 ~telemetry:reg ()) );
+    ("fig5", "UME relative speedup", fun reg -> render_figure (fig5 ~telemetry:reg ()));
+    ("fig6", "LAMMPS LJ relative speedup", fun reg -> render_figure (fig6 ~telemetry:reg ()));
+    ("fig7", "LAMMPS Chain relative speedup", fun reg -> render_figure (fig7 ~telemetry:reg ()));
     ( "runtimes",
       "absolute runtimes for UME and LAMMPS",
-      fun () ->
+      fun reg ->
         String.concat "\n"
-          (List.map app_runtime_table [ Workloads.Ume.app; Workloads.Lammps.lj; Workloads.Lammps.chain ]) );
-    ("ablate-l1", "L1 32->64 KiB on CG", fun () -> ablation_l1 ());
-    ("ablate-clock", "clock doubling per category", fun () -> ablation_clock ());
-    ("ablate-bus", "L2 banks / bus width", fun () -> ablation_bus ());
-    ("ablate-tlb", "TLB geometry on the DRAM chase", fun () -> ablation_tlb ());
-    ("ablate-prefetch", "modeling: L2 stream prefetcher", fun () -> ablation_prefetch ());
-    ("ablate-quantum", "modeling: co-simulation quantum", fun () -> ablation_quantum ());
-    ("simrate", "FireSim host simulation rate", fun () -> simrate ());
-    ("multinode", "future work: 1-8 node scale-out simulation", fun () -> multinode ());
+          (List.map
+             (app_runtime_table ~telemetry:reg)
+             [ Workloads.Ume.app; Workloads.Lammps.lj; Workloads.Lammps.chain ]) );
+    ("ablate-l1", "L1 32->64 KiB on CG", fun _ -> ablation_l1 ());
+    ("ablate-clock", "clock doubling per category", fun _ -> ablation_clock ());
+    ("ablate-bus", "L2 banks / bus width", fun _ -> ablation_bus ());
+    ("ablate-tlb", "TLB geometry on the DRAM chase", fun _ -> ablation_tlb ());
+    ("ablate-prefetch", "modeling: L2 stream prefetcher", fun _ -> ablation_prefetch ());
+    ("ablate-quantum", "modeling: co-simulation quantum", fun _ -> ablation_quantum ());
+    ("simrate", "FireSim host simulation rate", fun _ -> simrate ());
+    ("multinode", "future work: 1-8 node scale-out simulation", fun _ -> multinode ());
   ]

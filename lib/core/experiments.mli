@@ -33,7 +33,13 @@ val table5 : unit -> string
     them on the {!Parallel.Pool} worker domains: [jobs] bounds the worker
     count (default: the pool's process-wide setting, i.e. the CLI's
     [--jobs]; [1] = sequential in-process).  Results are reassembled in
-    grid order and are bit-identical for every [jobs] value. *)
+    grid order and are bit-identical for every [jobs] value.
+
+    [telemetry] (default {!Telemetry.Registry.disabled}) is the parent
+    registry the grid's per-cell sinks merge into; when the caller holds
+    an active span (the CLI's root run span), each figure additionally
+    records a ["figure:<id>"] span whose children are the pool's
+    per-cell spans. *)
 
 val fig1 :
   ?scale:float ->
@@ -41,6 +47,7 @@ val fig1 :
   ?budget:int ->
   ?jobs:int ->
   ?engine:Runner.engine ->
+  ?telemetry:Telemetry.Registry.t ->
   unit ->
   figure
 (** MicroBench on Banana Pi Sim Model and Fast model vs Banana Pi HW.
@@ -55,6 +62,7 @@ val fig2 :
   ?budget:int ->
   ?jobs:int ->
   ?engine:Runner.engine ->
+  ?telemetry:Telemetry.Registry.t ->
   unit ->
   figure
 (** MicroBench on Small/Medium/Large BOOM and MILK-V Sim Model vs MILK-V
@@ -101,23 +109,24 @@ val render_sampling_eval : sampling_eval -> string
 val sampling_report : ?scale:float -> unit -> string
 (** The [sampling] registry entry: both evaluations rendered. *)
 
-val fig3 : ?scale:float -> ?jobs:int -> unit -> figure list
+val fig3 : ?scale:float -> ?jobs:int -> ?telemetry:Telemetry.Registry.t -> unit -> figure list
 (** NPB on the Rocket-family configs vs Banana Pi HW; [single; four]. *)
 
-val fig4 : ?scale:float -> ?jobs:int -> unit -> figure list
+val fig4 : ?scale:float -> ?jobs:int -> ?telemetry:Telemetry.Registry.t -> unit -> figure list
 (** NPB on BOOM configs vs MILK-V HW; [(a) stock BOOMs; (b) tuned model
     1 and 4 ranks]. *)
 
-val fig5 : ?scale:float -> ?jobs:int -> unit -> figure
+val fig5 : ?scale:float -> ?jobs:int -> ?telemetry:Telemetry.Registry.t -> unit -> figure
 (** UME relative speedup over 1/2/4 ranks, both platform pairs. *)
 
-val fig6 : ?scale:float -> ?jobs:int -> unit -> figure
+val fig6 : ?scale:float -> ?jobs:int -> ?telemetry:Telemetry.Registry.t -> unit -> figure
 (** LAMMPS Lennard-Jones. *)
 
-val fig7 : ?scale:float -> ?jobs:int -> unit -> figure
+val fig7 : ?scale:float -> ?jobs:int -> ?telemetry:Telemetry.Registry.t -> unit -> figure
 (** LAMMPS Chain. *)
 
-val app_runtime_table : ?scale:float -> ?jobs:int -> Workloads.Workload.app -> string
+val app_runtime_table :
+  ?scale:float -> ?jobs:int -> ?telemetry:Telemetry.Registry.t -> Workloads.Workload.app -> string
 (** Absolute target runtimes (seconds) for 1/2/4 ranks on all four
     platforms — the numbers quoted in §5.3/§5.4. *)
 
@@ -150,5 +159,8 @@ val multinode : ?scale:float -> unit -> string
 (** §7 future work: strong scaling of EP and CG over 1-8 simulated nodes
     connected by a FireSim-style switch ({!Firesim.Multinode}). *)
 
-val all : (string * string * (unit -> string)) list
-(** (id, description, render) for every experiment, in paper order. *)
+val all : (string * string * (Telemetry.Registry.t -> string)) list
+(** (id, description, render) for every experiment, in paper order.  The
+    render function records into the given registry (figures thread it
+    to their grids; pass {!Telemetry.Registry.disabled} for plain
+    output). *)

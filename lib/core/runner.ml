@@ -78,6 +78,8 @@ module Trace_cache = struct
       Hashtbl.remove table k;
       Atomic.incr evictions
 
+  (* Returns the trace and whether it came from the cache, so callers
+     can annotate their telemetry spans with hit/miss. *)
   let find_or_compile ~kernel ~scale ~setup f =
     let key = { kernel; scale; setup; seed = Util.Rng.get_global_seed () } in
     let cached =
@@ -92,7 +94,7 @@ module Trace_cache = struct
     match cached with
     | Some tr ->
       Atomic.incr hits;
-      tr
+      (tr, true)
     | None ->
       Atomic.incr misses;
       (* Compile outside the lock: two domains racing on the same key do
@@ -111,7 +113,7 @@ module Trace_cache = struct
               Hashtbl.add table key (tr, ref !tick);
               words_cached := !words_cached + w
             end);
-      tr
+      (tr, false)
 
   let stats () =
     {
@@ -132,6 +134,19 @@ end
 let trace_cache_stats = Trace_cache.stats
 let trace_cache_clear = Trace_cache.clear
 
+let publish_trace_cache_stats reg =
+  if Registry.enabled reg then begin
+    let s = Trace_cache.stats () in
+    Registry.set_all reg
+      [
+        ("trace.cache.hits", s.tc_hits);
+        ("trace.cache.misses", s.tc_misses);
+        ("trace.cache.evictions", s.tc_evictions);
+      ]
+  end
+
+let cache_attr hit = ("trace_cache", Telemetry.Trace.Str (if hit then "hit" else "miss"))
+
 let run_kernel_timed ?(scale = 1.0) ?(telemetry = Registry.disabled)
     ?(policy = Sampling.Policy.Full) ?budget ?(engine : engine = `Trace) config
     (kernel : Workloads.Workload.kernel) =
@@ -146,6 +161,10 @@ let run_kernel_timed ?(scale = 1.0) ?(telemetry = Registry.disabled)
      the cost, and pipeline-visible differences are re-primed by the
      measured stream's interval-0 warmup window. *)
   let t0 = Unix.gettimeofday () in
+  (* The setup span covers exactly the [setup_wall_s] region: the setup
+     stream plus acquiring the measured stream's trace below. *)
+  let sp_setup = Registry.span_start telemetry "setup" in
+  let setup_cache = ref ("trace_cache", Telemetry.Trace.Str "off") in
   let before =
     match kernel.Workloads.Workload.setup with
     | None -> None
@@ -160,10 +179,11 @@ let run_kernel_timed ?(scale = 1.0) ?(telemetry = Registry.disabled)
             Seq.iter (Platform.Soc.warm_insn soc) (setup ~scale);
             Platform.Soc.collect_result soc ~ranks:1 ~comm:None)
         | `Trace -> (
-          let tr =
+          let tr, hit =
             Trace_cache.find_or_compile ~kernel:kernel.Workloads.Workload.name ~scale ~setup:true
               (fun () -> Trace.compile (setup ~scale))
           in
+          setup_cache := cache_attr hit;
           match policy with
           | Sampling.Policy.Full -> Platform.Soc.run_trace soc tr
           | Sampling.Policy.Sampled _ ->
@@ -177,18 +197,31 @@ let run_kernel_timed ?(scale = 1.0) ?(telemetry = Registry.disabled)
      counts as setup, not as measured time: it happens once per (kernel,
      scale) and is shared by every grid cell replaying that stream, so it
      belongs with working-set preparation rather than simulation speed. *)
+  let measure_cache = ref ("trace_cache", Telemetry.Trace.Str "off") in
   let measure_tr =
     match engine with
     | `Seq -> None
     | `Trace ->
-      Some
-        (Trace_cache.find_or_compile ~kernel:kernel.Workloads.Workload.name ~scale ~setup:false
-           (fun () -> Trace.compile (kernel.Workloads.Workload.stream ~scale)))
+      let tr, hit =
+        Trace_cache.find_or_compile ~kernel:kernel.Workloads.Workload.name ~scale ~setup:false
+          (fun () -> Trace.compile (kernel.Workloads.Workload.stream ~scale))
+      in
+      measure_cache := cache_attr hit;
+      Some tr
   in
   let setup_wall_s = Unix.gettimeofday () -. t0 in
+  Registry.span_end telemetry sp_setup
+    ~args:
+      [
+        !setup_cache;
+        ( "cycles",
+          Telemetry.Trace.Int (match before with None -> 0 | Some b -> b.Platform.Soc.cycles) );
+      ]
+    ();
   let snapshot = if Registry.enabled telemetry then Platform.Soc.counters soc else [] in
   let ts0 = match before with None -> 0 | Some b -> b.Platform.Soc.cycles in
   let ph = Registry.phase_start telemetry ~ts:ts0 "measure" in
+  let sp_measure = Registry.span_start telemetry "measure" in
   let iface = Platform.Soc.core_iface soc 0 in
   let t1 = Unix.gettimeofday () in
   let estimate =
@@ -216,6 +249,14 @@ let run_kernel_timed ?(scale = 1.0) ?(telemetry = Registry.disabled)
   let measure_wall_s = Unix.gettimeofday () -. t1 in
   let r = Platform.Soc.collect_result soc ~ranks:1 ~comm:None in
   Registry.phase_end telemetry ph ~ts:r.Platform.Soc.cycles ~args:(phase_args r) ();
+  Registry.span_end telemetry sp_measure
+    ~args:
+      (!measure_cache
+      :: [
+           ("cycles", Telemetry.Trace.Int estimate.Sampling.Estimate.est_cycles);
+           ("instructions", Telemetry.Trace.Int r.Platform.Soc.instructions);
+         ])
+    ();
   let freq = Platform.Config.freq_hz config in
   let diffed =
     match before with
@@ -260,7 +301,15 @@ let run_app ?(scale = 1.0) ?(codegen = Workloads.Codegen.default) ?(telemetry = 
         config.Platform.Config.name scale codegen.Workloads.Codegen.name);
   let soc = Platform.Soc.create config in
   let ph = Registry.phase_start telemetry ~ts:0 "run" in
+  let sp = Registry.span_start telemetry "run" in
   let r = Platform.Soc.run_ranks ~telemetry soc (app.Workloads.Workload.make ~codegen ~ranks ~scale) in
+  Registry.span_end telemetry sp
+    ~args:
+      [
+        ("cycles", Telemetry.Trace.Int r.Platform.Soc.cycles);
+        ("instructions", Telemetry.Trace.Int r.Platform.Soc.instructions);
+      ]
+    ();
   Registry.phase_end telemetry ph ~ts:r.Platform.Soc.cycles ~args:(phase_args r) ();
   if Registry.enabled telemetry then Registry.set_all telemetry (Platform.Soc.counters soc);
   r

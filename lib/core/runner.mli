@@ -32,6 +32,15 @@ val trace_cache_stats : unit -> trace_cache_stats
 val trace_cache_clear : unit -> unit
 (** Drop every cached trace and zero the counters (benchmark isolation). *)
 
+val publish_trace_cache_stats : Telemetry.Registry.t -> unit
+(** Snapshot {!trace_cache_stats} into the registry as the
+    [trace.cache.hits]/[trace.cache.misses]/[trace.cache.evictions]
+    counters, so the cache shows up in summaries, CSV export, and run
+    reports.  The counters are process-wide and scheduling-dependent at
+    [jobs > 1] (racing domains may compile the same key twice), so this
+    is called once at report time — never from inside pooled cells,
+    where it would break telemetry determinism across job counts. *)
+
 val run_kernel_timed :
   ?scale:float ->
   ?telemetry:Telemetry.Registry.t ->

@@ -1,0 +1,62 @@
+(* The pool's progress hook runs on worker domains; everything here is
+   guarded by one mutex and rate-limited, so the display costs nothing
+   measurable and never interleaves partial lines. *)
+
+let mutex = Mutex.create ()
+let last_print = ref 0.0
+let active = ref false
+let min_interval_s = 0.1
+
+let clear_line () = prerr_string "\r\027[K"
+
+let eta_s (ev : Parallel.Pool.progress_event) =
+  if ev.Parallel.Pool.pe_done = 0 then None
+  else
+    Some
+      (ev.Parallel.Pool.pe_elapsed_s /. float_of_int ev.Parallel.Pool.pe_done
+      *. float_of_int (ev.Parallel.Pool.pe_total - ev.Parallel.Pool.pe_done))
+
+let line (ev : Parallel.Pool.progress_event) =
+  let eta = match eta_s ev with None -> "?" | Some s -> Printf.sprintf "%.0fs" s in
+  let s =
+    Printf.sprintf "cells %d/%d · eta %s · %s" ev.Parallel.Pool.pe_done ev.Parallel.Pool.pe_total
+      eta ev.Parallel.Pool.pe_label
+  in
+  if String.length s > 100 then String.sub s 0 100 else s
+
+let hook (ev : Parallel.Pool.progress_event) =
+  Mutex.protect mutex (fun () ->
+      if !active then begin
+        let finished_grid =
+          (not ev.Parallel.Pool.pe_started)
+          && ev.Parallel.Pool.pe_done = ev.Parallel.Pool.pe_total
+        in
+        let now = Unix.gettimeofday () in
+        if finished_grid then begin
+          (* Leave no residue: the grid's results print next on stdout. *)
+          clear_line ();
+          flush stderr;
+          last_print := 0.0
+        end
+        else if now -. !last_print >= min_interval_s then begin
+          last_print := now;
+          clear_line ();
+          prerr_string (line ev);
+          flush stderr
+        end
+      end)
+
+let install () =
+  Mutex.protect mutex (fun () -> active := true);
+  Parallel.Pool.set_progress_hook (Some hook)
+
+let uninstall () =
+  Parallel.Pool.set_progress_hook None;
+  Mutex.protect mutex (fun () ->
+      if !active then begin
+        active := false;
+        clear_line ();
+        flush stderr
+      end)
+
+let install_if_tty () = if Unix.isatty Unix.stderr then install ()

@@ -1,0 +1,18 @@
+(** Live TTY progress for pooled experiment runs: one rate-limited
+    stderr line ([\r]-overwritten) showing cells done/total, an ETA
+    extrapolated from completed-cell wall times, and the label of the
+    cell that just started or finished.
+
+    Driven by {!Parallel.Pool.set_progress_hook}, so it works for every
+    grid the CLI runs without the drivers knowing about it.  Writes
+    only to stderr (stdout stays byte-identical for golden comparisons)
+    and only between [install]/[uninstall]. *)
+
+val install : unit -> unit
+(** Install the hook unconditionally (tests). *)
+
+val install_if_tty : unit -> unit
+(** Install only when stderr is a TTY — piped/CI runs stay silent. *)
+
+val uninstall : unit -> unit
+(** Remove the hook and clear the line. *)

@@ -1,0 +1,69 @@
+(** Machine-readable run reports (schema ["simbridge-run-report/1"]).
+
+    Every CLI invocation (and the bench gates) distills its telemetry
+    registry into one JSON document: run identity (id, time, git rev,
+    host fingerprint), the echoed config, a per-phase wall/target-cycle
+    breakdown, the counter snapshot (including the [trace.cache.*]
+    counters, published here), cache hit rates, optional sampling error
+    bounds and fidelity totals, and the exit status.  Reports are what
+    {!History} appends to [results/history.jsonl] and what CI uploads
+    as an artifact. *)
+
+val schema : string
+
+val run_id : unit -> string
+(** ["YYYYMMDDThhmmssZ-p<pid>"] — sortable and unique enough for a
+    ledger of sequential local runs. *)
+
+val git_rev : ?root:string -> unit -> string
+(** HEAD's commit sha, resolved by reading [.git/HEAD] (and the ref
+    file or [.git/packed-refs]) under [root] (default ["."]) — no [git]
+    binary required.  ["unknown"] when unresolvable. *)
+
+val iso8601 : float -> string
+(** UTC timestamp for a [Unix.gettimeofday] value. *)
+
+val build :
+  ?run_id:string ->
+  ?wall_s:float ->
+  ?estimate:Sampling.Estimate.t ->
+  ?fidelity:Validate.Fidelity.report * bool ->
+  ?exit_status:int ->
+  ?extra:(string * Validate.Jsonx.t) list ->
+  command:string ->
+  config:(string * Validate.Jsonx.t) list ->
+  telemetry:Telemetry.Registry.t ->
+  unit ->
+  Validate.Jsonx.t
+(** Assemble a report from a (merged) registry.  [wall_s] is the
+    invocation's total wall time; [fidelity] is the validate report
+    paired with its strictness; [extra] appends caller-specific
+    top-level sections (the bench gates put their own metrics there).
+    Calls {!Simbridge.Runner.publish_trace_cache_stats} on [telemetry]
+    first, so cache counters are part of the snapshot.  Works on
+    {!Telemetry.Registry.disabled} too (metrics degrade to [null]). *)
+
+val write : path:string -> Validate.Jsonx.t -> unit
+(** Write compact JSON (one line + newline, so a report file is also a
+    valid history.jsonl fragment), creating parent directories. *)
+
+val summary_line : Validate.Jsonx.t -> string
+(** One human line: id, command, MIPS, wall, fidelity totals. *)
+
+(** {2 Aggregates} (exposed for {!History} and tests) *)
+
+type phase_row = {
+  pr_name : string;
+  pr_count : int;
+  pr_target_cycles : int;
+  pr_wall_s : float;
+}
+
+val phase_breakdown : Telemetry.Registry.t -> phase_row list
+(** Completed phases grouped by name, in first-completion order. *)
+
+val measured_wall_s : Telemetry.Registry.t -> float
+(** Total wall seconds in "measure"/"run" phases — the MIPS denominator. *)
+
+val aggregate_mips : Telemetry.Registry.t -> float option
+(** [core.instructions / measured_wall_s / 1e6]; [None] without both. *)

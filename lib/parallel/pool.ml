@@ -69,6 +69,24 @@ let set_default_jobs jobs =
 
 let default_jobs () = resolve_jobs (Atomic.get default_jobs_setting)
 
+(* ------------------------------------------------------------ progress *)
+
+type progress_event = {
+  pe_total : int;
+  pe_done : int;
+  pe_label : string;
+  pe_started : bool;
+  pe_elapsed_s : float;
+}
+
+let progress_hook : (progress_event -> unit) option Atomic.t = Atomic.make None
+let set_progress_hook h = Atomic.set progress_hook h
+
+let notify hook ev =
+  match hook with
+  | None -> ()
+  | Some f -> ( try f ev with _ -> () (* a broken display must not kill the run *))
+
 let run ?jobs ?(telemetry = Registry.disabled) cells =
   let cells = Array.of_list cells in
   let n = Array.length cells in
@@ -78,8 +96,14 @@ let run ?jobs ?(telemetry = Registry.disabled) cells =
     let workers = min jobs n in
     (* One forked sink per cell (not per worker): merging them back in
        cell-index order makes the combined telemetry independent of how
-       the scheduler distributed cells over domains. *)
-    let sinks = Array.map (fun _ -> Registry.fork telemetry) cells in
+       the scheduler distributed cells over domains.  Each sink gets a
+       per-cell span namespace so cell spans carry deterministic ids and
+       link to the caller's current span across the domain boundary. *)
+    let span_parent = Registry.span_current telemetry in
+    let sinks =
+      Array.mapi
+        (fun i _ -> Registry.fork ~ns:(Printf.sprintf "c%d." i) ~span_parent telemetry) cells
+    in
     let results = Array.make n None in
     let fail_mutex = Mutex.create () in
     let failure = ref None in
@@ -91,26 +115,62 @@ let run ?jobs ?(telemetry = Registry.disabled) cells =
           | Some (j, _, _) when j <= i -> ()
           | _ -> failure := Some (i, e, bt))
     in
-    let exec i =
+    let hook = Atomic.get progress_hook in
+    (* Wall clock is read per cell only when someone is looking (a
+       progress hook, or a span context that will record the reading):
+       the disabled-telemetry path stays free of per-cell syscalls. *)
+    let observed = hook <> None || (Registry.enabled telemetry && span_parent <> "") in
+    let run_wall0 = if observed then Unix.gettimeofday () else 0.0 in
+    let done_count = Atomic.make 0 in
+    let exec ~lane i =
       if not (Atomic.get aborted) then begin
-        let ctx = { cell_index = i; rng = Util.Rng.for_cell i; telemetry = sinks.(i) } in
-        match cells.(i).run ctx with
+        let sink = sinks.(i) in
+        let label = cells.(i).label in
+        let t_start = if observed then Unix.gettimeofday () else 0.0 in
+        notify hook
+          {
+            pe_total = n;
+            pe_done = Atomic.get done_count;
+            pe_label = label;
+            pe_started = true;
+            pe_elapsed_s = t_start -. run_wall0;
+          };
+        Registry.set_span_lane sink lane;
+        let sp = Registry.span_start sink label in
+        let ctx = { cell_index = i; rng = Util.Rng.for_cell i; telemetry = sink } in
+        (match cells.(i).run ctx with
         | r -> results.(i) <- Some r
-        | exception e -> record_failure i e (Printexc.get_raw_backtrace ())
+        | exception e -> record_failure i e (Printexc.get_raw_backtrace ()));
+        Registry.span_end sink sp
+          ~args:
+            [
+              ("cell_index", Telemetry.Trace.Int i);
+              ("queue_wait_us", Telemetry.Trace.Int (int_of_float ((t_start -. run_wall0) *. 1e6)));
+            ]
+          ();
+        let d = 1 + Atomic.fetch_and_add done_count 1 in
+        notify hook
+          {
+            pe_total = n;
+            pe_done = d;
+            pe_label = label;
+            pe_started = false;
+            pe_elapsed_s = (if observed then Unix.gettimeofday () -. run_wall0 else 0.0);
+          }
       end
     in
     if workers <= 1 then
       (* Graceful fallback: plain in-process loop, no domain spawned. *)
       for i = 0 to n - 1 do
-        exec i
+        exec ~lane:0 i
       done
     else begin
       let next = Atomic.make 0 in
-      let worker () =
+      let worker lane () =
         let rec loop () =
           let i = Atomic.fetch_and_add next 1 in
           if i < n then begin
-            exec i;
+            exec ~lane i;
             loop ()
           end
         in
@@ -118,7 +178,7 @@ let run ?jobs ?(telemetry = Registry.disabled) cells =
       in
       (* Domain.join gives the happens-before edge that publishes every
          worker's writes (results slots, sink contents) to this domain. *)
-      let domains = List.init workers (fun _ -> Domain.spawn worker) in
+      let domains = List.init workers (fun lane -> Domain.spawn (worker lane)) in
       List.iter Domain.join domains
     end;
     Array.iter (fun sink -> Registry.merge ~into:telemetry sink) sinks;

@@ -69,6 +69,24 @@ val default_jobs : unit -> int
 (** The resolved process-wide default ({!recommended_jobs} unless
     {!set_default_jobs} chose otherwise). *)
 
+(** {2 Progress observation} *)
+
+type progress_event = {
+  pe_total : int;  (** cells in the submitted grid *)
+  pe_done : int;  (** cells completed so far *)
+  pe_label : string;  (** the cell this event concerns *)
+  pe_started : bool;  (** [true] = cell picked up, [false] = completed *)
+  pe_elapsed_s : float;  (** wall time since the grid was submitted *)
+}
+
+val set_progress_hook : (progress_event -> unit) option -> unit
+(** Install (or clear) the process-wide progress observer, called from
+    {e worker domains} as cells start and finish — it must be
+    thread-safe and fast.  Exceptions it raises are swallowed.  Meant
+    for the CLI's TTY progress line ({!Ledger.Progress}); when unset
+    (the default) the pool reads no wall clock on the disabled-telemetry
+    path. *)
+
 val run : ?jobs:int -> ?telemetry:Telemetry.Registry.t -> 'r cell list -> 'r list
 (** [run cells] executes every cell and returns their results in
     submission order.  [jobs] (default: the {!set_default_jobs} value)
@@ -79,7 +97,11 @@ val run : ?jobs:int -> ?telemetry:Telemetry.Registry.t -> 'r cell list -> 'r lis
 
     [telemetry] (default {!Telemetry.Registry.disabled}) is the parent
     registry: each cell records into a private fork, merged back in cell
-    order after the workers join.
+    order after the workers join.  When the caller has an active span
+    ({!Telemetry.Registry.span_active}), every cell additionally records
+    a span (namespace ["c<i>."], parent = the caller's current span,
+    [tid] = worker lane) annotated with its queue wait, so the merged
+    Chrome trace shows the real fan-out timeline.
 
     If any cell raises, remaining unstarted cells are skipped
     (best-effort), every sink that did run is still merged, and the

@@ -51,6 +51,12 @@ let summary reg =
   Buffer.add_string buf
     (Printf.sprintf "%d events retained, %d dropped (capacity %d)\n" (Trace.length tr)
        (Trace.dropped tr) (Trace.capacity tr));
+  if Trace.dropped tr > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "WARNING: %d trace events dropped (oldest first) — the ring overflowed; rerun with a \
+          larger --trace-capacity for a complete trace\n"
+         (Trace.dropped tr));
   Buffer.contents buf
 
 (* ----------------------------------------------------------------- csv *)
@@ -147,9 +153,16 @@ let write_file path contents =
   close_out oc
 
 let rec mkdir_p dir =
-  if dir <> "" && dir <> "/" && not (Sys.file_exists dir) then begin
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
     mkdir_p (Filename.dirname dir);
-    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+    (* Only a lost race (someone else created it) is benign; every other
+       failure (permissions, a file in the way) must surface instead of
+       letting [write_file] fail later with a confusing ENOENT. *)
+    match Unix.mkdir dir 0o755 with
+    | () -> ()
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+      raise (Sys_error (Printf.sprintf "%s: %s" dir (Unix.error_message e)))
   end
 
 let write reg ~dir =

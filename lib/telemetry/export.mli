@@ -12,10 +12,14 @@
     [telemetry.txt], [telemetry.csv], and [trace.json]. *)
 
 val summary : Registry.t -> string
+(** Includes a WARNING line when the bounded trace ring dropped
+    events, so truncated traces are visible instead of silent. *)
 
 val to_csv : Registry.t -> string
 
 val chrome_trace : Registry.t -> string
 
 val write : Registry.t -> dir:string -> unit
-(** Creates [dir] if missing (one level). *)
+(** Creates [dir] — including missing parent directories, so
+    [--telemetry out/run1/telemetry] works on a clean tree.  Raises
+    [Sys_error] when a component cannot be created. *)

@@ -29,16 +29,28 @@ type t = {
   hists_tbl : (string, histogram) Hashtbl.t;
   mutable phases_rev : phase_info list;
   tr : Trace.t;
+  span_ns : string;  (** id namespace, e.g. ["c3."] for cell 3's sink *)
+  span_parent : string;  (** cross-sink parent id inherited at fork *)
+  mutable span_seq : int;
+  mutable span_stack : string list;  (** open span ids, innermost first *)
+  mutable span_lane : int;  (** worker lane, becomes the trace [tid] *)
 }
 
-let create ?(trace_capacity = 65536) () =
+let create_ns ~ns ~span_parent ?(trace_capacity = 65536) () =
   {
     live = true;
     counters_tbl = Hashtbl.create 64;
     hists_tbl = Hashtbl.create 16;
     phases_rev = [];
     tr = Trace.create ~capacity:trace_capacity;
+    span_ns = ns;
+    span_parent;
+    span_seq = 0;
+    span_stack = [];
+    span_lane = 0;
   }
+
+let create ?trace_capacity () = create_ns ~ns:"" ~span_parent:"" ?trace_capacity ()
 
 (* The shared sink.  Nothing may ever mutate it: [counter]/[histogram]
    hand out unregistered dead cells instead of touching the tables. *)
@@ -49,6 +61,11 @@ let disabled =
     hists_tbl = Hashtbl.create 1;
     phases_rev = [];
     tr = Trace.create ~capacity:0;
+    span_ns = "";
+    span_parent = "";
+    span_seq = 0;
+    span_stack = [];
+    span_lane = 0;
   }
 
 let enabled t = t.live
@@ -148,9 +165,73 @@ let phase_end t p ?(ts = 0) ?(args = []) () =
 
 let phases t = List.rev t.phases_rev
 
+(* -------------------------------------------------------------- spans *)
+
+(* Span timestamps are wall microseconds since this process-global
+   epoch, so events recorded by different forked sinks (one per cell,
+   running on different domains) land on one comparable timeline and
+   the merged Chrome trace shows the real fan-out schedule. *)
+let span_epoch = Unix.gettimeofday ()
+
+type span = {
+  s_live : bool;
+  s_id : string;
+  s_name : string;
+  s_parent : string;
+  s_wall0 : float;
+}
+
+let dead_span = { s_live = false; s_id = ""; s_name = ""; s_parent = ""; s_wall0 = 0.0 }
+
+let span_current t =
+  match t.span_stack with
+  | id :: _ -> id
+  | [] -> t.span_parent
+
+let span_active t = t.live && span_current t <> ""
+let set_span_lane t lane = if t.live then t.span_lane <- lane
+
+let span_start t ?(root = false) name =
+  if not t.live then dead_span
+  else
+    let parent = span_current t in
+    if (not root) && parent = "" then dead_span
+    else begin
+      t.span_seq <- t.span_seq + 1;
+      let id = Printf.sprintf "%ss%d" t.span_ns t.span_seq in
+      t.span_stack <- id :: t.span_stack;
+      { s_live = true; s_id = id; s_name = name; s_parent = parent; s_wall0 = Unix.gettimeofday () }
+    end
+
+let span_end t sp ?(args = []) () =
+  if sp.s_live then begin
+    (match t.span_stack with
+    | id :: rest when id = sp.s_id -> t.span_stack <- rest
+    | _ -> () (* mismatched close: tolerate, the trace still records the span *));
+    let now = Unix.gettimeofday () in
+    Trace.record t.tr
+      {
+        Trace.name = sp.s_name;
+        cat = "span";
+        ph = 'X';
+        ts = int_of_float ((sp.s_wall0 -. span_epoch) *. 1e6);
+        dur = max 0 (int_of_float ((now -. sp.s_wall0) *. 1e6));
+        tid = t.span_lane;
+        args = ("span", Trace.Str sp.s_id) :: ("parent", Trace.Str sp.s_parent) :: args;
+      }
+  end
+
+let span_with t ?root ?(args = []) name f =
+  let sp = span_start t ?root name in
+  Fun.protect ~finally:(fun () -> span_end t sp ~args ()) f
+
 (* ------------------------------------------------------- fork / merge *)
 
-let fork t = if not t.live then disabled else create ~trace_capacity:(Trace.capacity t.tr) ()
+let fork ?(ns = "") ?span_parent t =
+  if not t.live then disabled
+  else
+    let span_parent = match span_parent with Some p -> p | None -> span_current t in
+    create_ns ~ns:(t.span_ns ^ ns) ~span_parent ~trace_capacity:(Trace.capacity t.tr) ()
 
 let merge ~into child =
   if into.live && child.live && into != child then begin

@@ -100,6 +100,54 @@ val phase_end : t -> phase -> ?ts:int -> ?args:(string * Trace.arg) list -> unit
 val phases : t -> phase_info list
 (** Completed phases, in completion order. *)
 
+(** {2 Spans}
+
+    Spans are the wall-clock complement of phases: hierarchical 'X'
+    trace events (category ["span"]) on a process-global microsecond
+    timeline, carrying their own id and their parent's id in [args] so
+    the merged Chrome/Perfetto trace reconstructs the run tree even
+    though parent and child were recorded into different forked sinks
+    on different domains.
+
+    Ids are deterministic — [<ns>s<seq>] where [ns] is the sink's
+    namespace (empty for a root registry, ["c<i>."] for cell [i]'s
+    {!fork}ed sink) — so the span {e tree} is identical across job
+    counts; only timestamps and lanes vary with scheduling.
+
+    Recording is context-gated: unless opened with [~root:true], a span
+    only records when an enclosing span is active (locally or inherited
+    from the parent at {!fork} time).  Plain library calls with no root
+    span therefore record no span events at all, which keeps
+    deterministic-trace tests (equal event lists across job counts)
+    valid for callers that never opt in. *)
+
+type span
+
+val span_start : t -> ?root:bool -> string -> span
+(** Open a span.  Returns a dead span (recording nothing) when the
+    registry is disabled, or when no parent is active and [root] is
+    false (default). *)
+
+val span_end : t -> span -> ?args:(string * Trace.arg) list -> unit -> unit
+(** Close a span: records one 'X' event with [("span", id)] and
+    [("parent", parent_id)] prepended to [args]. *)
+
+val span_with : t -> ?root:bool -> ?args:(string * Trace.arg) list -> string -> (unit -> 'a) -> 'a
+(** [span_with t name f] wraps [f] in {!span_start}/{!span_end}; the
+    span is closed (and recorded) even when [f] raises. *)
+
+val span_current : t -> string
+(** Innermost open span id, or the fork-inherited parent id, or [""]. *)
+
+val span_active : t -> bool
+(** [true] when a live registry has an active span context — i.e. new
+    non-root spans would record. *)
+
+val set_span_lane : t -> int -> unit
+(** Set the worker lane recorded as the [tid] of subsequent span
+    events (default 0); {!Parallel.Pool} tags each cell's sink with the
+    worker that ran it so the trace shows real lane occupancy. *)
+
 (** {2 Per-domain sinks}
 
     A registry is single-domain mutable state: it must never be written
@@ -111,11 +159,16 @@ val phases : t -> phase_info list
     deterministic and identical to a sequential run, never interleaved
     by the host scheduler. *)
 
-val fork : t -> t
+val fork : ?ns:string -> ?span_parent:string -> t -> t
 (** A fresh, empty child sink: live iff [t] is live (forking
     {!disabled} returns {!disabled} — no allocation), with the same
     trace capacity.  The child shares no state with [t]; hand it to
-    exactly one domain. *)
+    exactly one domain.
+
+    [ns] (default [""]) is appended to [t]'s span-id namespace; give
+    concurrent forks distinct namespaces (the pool uses ["c<i>."]) so
+    their span ids cannot collide.  [span_parent] (default
+    [span_current t]) is the parent id child spans attach to. *)
 
 val merge : into:t -> t -> unit
 (** [merge ~into child] folds a forked sink back into its parent:

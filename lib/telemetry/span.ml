@@ -1,0 +1,13 @@
+type attr = string * Trace.arg
+
+let int k v : attr = (k, Trace.Int v)
+let float k v : attr = (k, Trace.Float v)
+let str k v : attr = (k, Trace.Str v)
+
+let with_ ?root ?(attrs = []) ~name reg f = Registry.span_with reg ?root ~args:attrs name f
+let root ~name reg f = with_ ~root:true ~name reg f
+
+type open_span = { os_reg : Registry.t; os_span : Registry.span }
+
+let start ?root ~name reg = { os_reg = reg; os_span = Registry.span_start reg ?root name }
+let finish ?(attrs = []) os = Registry.span_end os.os_reg os.os_span ~args:attrs ()

@@ -1,0 +1,32 @@
+(** Ergonomic face of the registry's span primitives (see
+    {!Registry.span_start} for semantics: deterministic ids, parent
+    links in [args], context-gated recording, zero-cost when the
+    registry is disabled).
+
+    Instrumentation sites write
+
+    {[ Span.with_ ~name:"measure" ~attrs:[ Span.int "cycles" n ] reg f ]}
+
+    and get a Chrome 'X' event on the process-wide wall timeline iff a
+    root span is active above them. *)
+
+type attr = string * Trace.arg
+
+val int : string -> int -> attr
+val float : string -> float -> attr
+val str : string -> string -> attr
+
+val with_ : ?root:bool -> ?attrs:attr list -> name:string -> Registry.t -> (unit -> 'a) -> 'a
+(** Run [f] inside a span; the span closes (and records, with [attrs])
+    even when [f] raises. *)
+
+val root : name:string -> Registry.t -> (unit -> 'a) -> 'a
+(** [with_ ~root:true]: opens the run's root span, under which all
+    nested spans (including those in forked cell sinks) record. *)
+
+type open_span
+
+val start : ?root:bool -> name:string -> Registry.t -> open_span
+val finish : ?attrs:attr list -> open_span -> unit
+(** Imperative pair for spans that cannot wrap a closure (attrs only
+    known at the end). *)

@@ -19,6 +19,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("report", Test_report.suite);
       ("telemetry", Test_telemetry.suite);
+      ("ledger", Test_ledger.suite);
       ("sampling", Test_sampling.suite);
       ("parallel", Test_parallel.suite);
       ("simbridge", Test_simbridge.suite);

@@ -225,6 +225,67 @@ let test_export_write_files () =
       Alcotest.(check bool) (f ^ " written") true (Sys.file_exists (Filename.concat dir f)))
     [ "telemetry.txt"; "telemetry.csv"; "trace.json" ]
 
+let test_export_write_nested_dirs () =
+  (* Regression: Export.write must create every missing parent, not
+     just the leaf — `--telemetry results/telemetry/run1` used to fail
+     when `results/telemetry` didn't exist yet. *)
+  let reg = Reg.create () in
+  Reg.set_all reg [ ("k", 1) ];
+  let base =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "simbridge_nested_%d" (Unix.getpid ()))
+  in
+  let dir = Filename.concat (Filename.concat base "a") "b" in
+  Alcotest.(check bool) "parents absent beforehand" false (Sys.file_exists base);
+  Telemetry.Export.write reg ~dir;
+  Alcotest.(check bool) "nested dir created" true
+    (Sys.file_exists (Filename.concat dir "telemetry.txt"));
+  (* second write over the same tree must be idempotent *)
+  Telemetry.Export.write reg ~dir;
+  List.iter
+    (fun f -> Sys.remove (Filename.concat dir f))
+    [ "telemetry.txt"; "telemetry.csv"; "trace.json" ];
+  Unix.rmdir dir;
+  Unix.rmdir (Filename.concat base "a");
+  Unix.rmdir base
+
+let test_summary_warns_on_dropped_events () =
+  let reg = Reg.create ~trace_capacity:2 () in
+  for i = 1 to 5 do
+    Trace.record (Reg.trace reg) (ev (string_of_int i) i)
+  done;
+  let s = Telemetry.Export.summary reg in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "warning present" true (contains "WARNING: 3 trace events dropped" s);
+  Alcotest.(check bool) "mentions --trace-capacity" true (contains "--trace-capacity" s);
+  let quiet = Telemetry.Export.summary (Reg.create ~trace_capacity:16 ()) in
+  Alcotest.(check bool) "no warning without drops" false (contains "WARNING" quiet)
+
+let test_span_basics () =
+  let reg = Reg.create () in
+  (* Without a root, spans are inert: callers that never opened one
+     (e.g. the deterministic-merge tests) see no trace events. *)
+  Telemetry.Span.with_ ~name:"orphan" reg (fun () -> ());
+  Alcotest.(check int) "no orphan span recorded" 0 (Trace.length (Reg.trace reg));
+  let out =
+    Telemetry.Span.root ~name:"outer" reg (fun () ->
+        Telemetry.Span.with_ ~name:"inner" ~attrs:[ Telemetry.Span.int "k" 7 ] reg (fun () -> 42))
+  in
+  Alcotest.(check int) "body result returned" 42 out;
+  let spans = List.filter (fun e -> e.Trace.cat = "span") (Trace.to_list (Reg.trace reg)) in
+  Alcotest.(check int) "two spans" 2 (List.length spans);
+  let find name = List.find (fun e -> e.Trace.name = name) spans in
+  let id e = match List.assoc "span" e.Trace.args with Trace.Str s -> s | _ -> "?" in
+  let parent e = match List.assoc "parent" e.Trace.args with Trace.Str s -> s | _ -> "?" in
+  Alcotest.(check string) "outer is a root" "" (parent (find "outer"));
+  Alcotest.(check string) "inner nests under outer" (id (find "outer")) (parent (find "inner"));
+  Alcotest.(check bool) "disabled registry spans are free" true
+    (Telemetry.Span.root ~name:"x" Reg.disabled (fun () -> true))
+
 let suite =
   [
     Alcotest.test_case "counter basics" `Quick test_counter_basics;
@@ -241,4 +302,7 @@ let suite =
     Alcotest.test_case "app histograms + smpi counters" `Quick test_app_telemetry_histograms;
     Alcotest.test_case "runner phases" `Quick test_runner_phases;
     Alcotest.test_case "export writes sidecars" `Quick test_export_write_files;
+    Alcotest.test_case "export creates nested dirs" `Quick test_export_write_nested_dirs;
+    Alcotest.test_case "summary warns on dropped events" `Quick test_summary_warns_on_dropped_events;
+    Alcotest.test_case "span basics" `Quick test_span_basics;
   ]

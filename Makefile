@@ -1,4 +1,4 @@
-.PHONY: all build test check bench sampling-smoke parallel-smoke perf-smoke ledger-smoke validate validate-smoke update-golden clean
+.PHONY: all build test check bench sampling-smoke parallel-smoke perf-smoke ledger-smoke serve-smoke serve-bench validate validate-smoke update-golden clean
 
 # Worker domains for smoke runs (0 = auto); CI passes JOBS=2 so the
 # parallel path is exercised on every push.
@@ -98,3 +98,61 @@ update-golden: build
 
 clean:
 	dune clean
+
+# dune exec serialises on the build lock, so the daemon and its
+# concurrent clients must run the built binary directly.
+CLI := ./_build/default/bin/simbridge_cli.exe
+
+# CI smoke for the serve daemon: boot it on a Unix socket, hit it with
+# two concurrent clients (fig2 after fig1 so the cross-request trace
+# cache is exercised), diff every payload against the one-shot CLI,
+# verify malformed flags and empty-history handling, then SIGTERM and
+# assert a clean drain (exit 0 + final run report written).
+serve-smoke: build
+	@rm -f _build/serve-smoke.sock _build/serve-report.json _build/serve-history.jsonl
+	@if $(CLI) serve --jobs banana 2>_build/serve-usage.err; then \
+		echo "serve-smoke: FAIL (--jobs banana accepted)"; exit 1; \
+	else grep -qi "jobs" _build/serve-usage.err \
+		&& echo "serve-smoke: garbage --jobs rejected with a usage error"; fi
+	@$(CLI) history show --history _build/serve-history.jsonl \
+		| grep -q "no history recorded yet" \
+		&& echo "serve-smoke: empty history show exits 0 with a clear message"
+	@$(CLI) history check --history _build/serve-history.jsonl; \
+	STATUS=$$?; if [ $$STATUS -ne 2 ]; then \
+		echo "serve-smoke: FAIL (empty-history check exited $$STATUS, want 2)"; exit 1; \
+	else echo "serve-smoke: empty history check exits 2 (no data != regression)"; fi
+	@$(CLI) csv fig1 --scale 0.1 > _build/serve-oracle-fig1.csv
+	@$(CLI) csv fig2 --scale 0.1 > _build/serve-oracle-fig2.csv
+	@$(CLI) serve --listen _build/serve-smoke.sock \
+		--jobs $(JOBS) --report _build/serve-report.json --history _build/serve-history.jsonl & \
+	SERVE_PID=$$!; \
+	for i in $$(seq 1 100); do [ -S _build/serve-smoke.sock ] && break; sleep 0.1; done; \
+	[ -S _build/serve-smoke.sock ] \
+		|| { echo "serve-smoke: FAIL (socket never appeared)"; kill $$SERVE_PID 2>/dev/null; exit 1; }; \
+	$(CLI) query fig1 --scale 0.1 \
+		--connect _build/serve-smoke.sock > _build/serve-got-fig1.csv & C1=$$!; \
+	$(CLI) query fig2 --scale 0.1 \
+		--connect _build/serve-smoke.sock > _build/serve-got-fig2.csv & C2=$$!; \
+	wait $$C1 && wait $$C2 \
+		|| { echo "serve-smoke: FAIL (a query client errored)"; kill -TERM $$SERVE_PID; exit 1; }; \
+	cmp _build/serve-oracle-fig1.csv _build/serve-got-fig1.csv \
+		|| { echo "serve-smoke: FAIL (served fig1 differs from one-shot csv)"; kill -TERM $$SERVE_PID; exit 1; }; \
+	cmp _build/serve-oracle-fig2.csv _build/serve-got-fig2.csv \
+		|| { echo "serve-smoke: FAIL (served fig2 differs from one-shot csv)"; kill -TERM $$SERVE_PID; exit 1; }; \
+	kill -TERM $$SERVE_PID; wait $$SERVE_PID; STATUS=$$?; \
+	[ $$STATUS -eq 0 ] || { echo "serve-smoke: FAIL (daemon exited $$STATUS on SIGTERM)"; exit 1; }; \
+	[ -f _build/serve-report.json ] \
+		|| { echo "serve-smoke: FAIL (no final run report after drain)"; exit 1; }; \
+	grep -q '"serve"' _build/serve-report.json \
+		|| { echo "serve-smoke: FAIL (run report carries no serve section)"; exit 1; }; \
+	$(CLI) history check --history _build/serve-history.jsonl \
+		|| { echo "serve-smoke: FAIL (recorded serve run fails the history gate)"; exit 1; }; \
+	echo "serve-smoke: OK (two concurrent clients byte-identical to one-shot CLI; clean SIGTERM drain)"
+
+# The serve load gate: 1000 mixed fig1-7 queries from 4 concurrent
+# pipelining clients against one daemon; every payload diffed against
+# the sequential oracle, and the cross-request trace-cache hit rate
+# must be > 0.  Writes BENCH_serve.json (uploaded as a CI artifact).
+serve-bench:
+	dune build --profile release bench/main.exe
+	dune exec --profile release bench/main.exe -- serve

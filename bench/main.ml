@@ -351,6 +351,232 @@ let run_perf_gate ~identity_only () =
       agg speedup
   end
 
+(* --------------------------------------------------------------- serve *)
+
+(* The serve load-test gate (ISSUE 7): stand the daemon up on a Unix
+   socket, fire >= 1000 mixed fig1-7 (plus grid-cell) queries from 4
+   concurrent pipelining clients, and require every payload to be
+   byte-identical to the sequential jobs=1 oracle — then require the
+   cross-request trace cache to have actually fired (fig2 replays fig1's
+   compiled kernel streams).  Numbers land in BENCH_serve.json. *)
+
+let serve_mix : Serve.Protocol.query list =
+  let fig f s = Serve.Protocol.Figure { fmt = `Csv; figure = f; scale = s } in
+  let cell p k s = Serve.Protocol.Cell { platform = p; kernel = k; scale = s } in
+  [
+    fig "fig1" 0.1;
+    fig "fig2" 0.1;
+    cell "banana-pi-sim" "ED1" 0.1;
+    fig "fig5" 0.1;
+    fig "fig1" 0.15;
+    fig "fig3a" 0.02;
+    fig "fig6" 0.1;
+    cell "milkv-sim" "MD" 0.1;
+    fig "fig4a" 0.02;
+    fig "fig7" 0.1;
+  ]
+
+let serve_clients = 4
+let serve_queries_per_client = 250
+let serve_pipeline_depth = 8
+
+(* Each client walks the mix from its own offset, so at any instant the
+   four connections overlap on some keys (exercising batch coalescing)
+   and disagree on others (exercising the response cache). *)
+let serve_query ~ci i = List.nth serve_mix ((i + (ci * 3)) mod List.length serve_mix)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(max 0 (min (n - 1) (int_of_float ((p *. float_of_int (n - 1)) +. 0.5))))
+
+let serve_client ~addr ~oracle ~ci ~latencies ~verified ~mismatches () =
+  try
+    let c = Serve.Client.connect addr in
+    let inflight = Queue.create () in
+    let fail what =
+      Atomic.incr mismatches;
+      Printf.printf "FAIL serve: client %d: %s\n%!" ci what
+    in
+    let recv_one () =
+      let idx, t_send = Queue.pop inflight in
+      match Serve.Client.recv c with
+      | Error msg -> fail (Printf.sprintf "recv #%d: %s" idx msg)
+      | Ok resp -> (
+        latencies.(ci).(idx) <- Unix.gettimeofday () -. t_send;
+        let q = serve_query ~ci idx in
+        let expect_id = Printf.sprintf "c%d-%d" ci idx in
+        if resp.Serve.Protocol.rs_id <> expect_id then
+          fail
+            (Printf.sprintf "response order: got id %S, want %S" resp.Serve.Protocol.rs_id
+               expect_id)
+        else
+          match resp.Serve.Protocol.rs_result with
+          | Error msg -> fail (Printf.sprintf "#%d server error: %s" idx msg)
+          | Ok (payload, _report) ->
+            if payload = Hashtbl.find oracle (Serve.Protocol.query_key q) then
+              Atomic.incr verified
+            else fail (Printf.sprintf "#%d (%s) payload differs from sequential oracle" idx
+                         (Serve.Protocol.query_key q)))
+    in
+    for i = 0 to serve_queries_per_client - 1 do
+      if Queue.length inflight >= serve_pipeline_depth then recv_one ();
+      Serve.Client.send c
+        Serve.Protocol.
+          { rq_id = Printf.sprintf "c%d-%d" ci i; rq_op = Run (serve_query ~ci i) };
+      Queue.push (i, Unix.gettimeofday ()) inflight
+    done;
+    while not (Queue.is_empty inflight) do
+      recv_one ()
+    done;
+    Serve.Client.close c
+  with exn ->
+    Atomic.incr mismatches;
+    Printf.printf "FAIL serve: client %d died: %s\n%!" ci (Printexc.to_string exn)
+
+let stat_float stats path =
+  let module J = Validate.Jsonx in
+  let rec walk j = function
+    | [] -> J.to_float j
+    | key :: rest -> ( match J.member key j with Some v -> walk v rest | None -> None)
+  in
+  Option.value (walk stats path) ~default:0.0
+
+let run_serve_gate () =
+  let module P = Serve.Protocol in
+  let total = serve_clients * serve_queries_per_client in
+  let uniq =
+    List.filter
+      (let seen = Hashtbl.create 16 in
+       fun q ->
+         let key = P.query_key q in
+         if Hashtbl.mem seen key then false else (Hashtbl.add seen key (); true))
+      serve_mix
+  in
+  Printf.printf "serve gate: %d queries (%d unique) from %d clients, pipeline depth %d\n%!" total
+    (List.length uniq) serve_clients serve_pipeline_depth;
+  let t0 = Unix.gettimeofday () in
+  let oracle = Hashtbl.create 16 in
+  List.iter
+    (fun q ->
+      match Serve.Engine.oracle q with
+      | Ok payload -> Hashtbl.replace oracle (P.query_key q) payload
+      | Error msg ->
+        Printf.printf "FAIL serve: oracle %s: %s\n" (P.query_key q) msg;
+        exit 1)
+    uniq;
+  let oracle_wall = Unix.gettimeofday () -. t0 in
+  Printf.printf "oracle: %d sequential payloads in %.1f s\n%!" (List.length uniq) oracle_wall;
+  (* the served run must start cold so every trace-cache hit it reports
+     is a genuine cross-request hit, not oracle leftovers *)
+  Simbridge.Runner.trace_cache_clear ();
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "simbridge-bench-%d.sock" (Unix.getpid ()))
+  in
+  (* trace_capacity 0: live counters and phases (for aggregate MIPS),
+     no event-ring memory for a 1000-query run *)
+  let reg = Telemetry.Registry.create ~trace_capacity:0 () in
+  let srv = Serve.Server.create ~response_cache_capacity:64 ~telemetry:reg (`Unix sock) in
+  let srv_thread = Thread.create Serve.Server.run srv in
+  let t1 = Unix.gettimeofday () in
+  let latencies = Array.init serve_clients (fun _ -> Array.make serve_queries_per_client 0.0) in
+  let verified = Atomic.make 0 and mismatches = Atomic.make 0 in
+  let clients =
+    List.init serve_clients (fun ci ->
+        Thread.create
+          (serve_client ~addr:(`Unix sock) ~oracle ~ci ~latencies ~verified ~mismatches)
+          ())
+  in
+  List.iter Thread.join clients;
+  let serve_wall = Unix.gettimeofday () -. t1 in
+  let stats = Serve.Engine.stats_json (Serve.Server.engine srv) in
+  Serve.Server.stop srv;
+  Thread.join srv_thread;
+  let tc = Simbridge.Runner.trace_cache_stats () in
+  let tc_lookups = tc.Simbridge.Runner.tc_hits + tc.Simbridge.Runner.tc_misses in
+  let all_lat = Array.concat (Array.to_list latencies) in
+  Array.sort compare all_lat;
+  let p50 = percentile all_lat 0.50 and p99 = percentile all_lat 0.99 in
+  let qps = if serve_wall > 0.0 then float_of_int total /. serve_wall else 0.0 in
+  let mips = Option.value (Ledger.Run_report.aggregate_mips reg) ~default:0.0 in
+  let computed = stat_float stats [ "computed" ] in
+  let coalesced = stat_float stats [ "coalesced" ] in
+  let cached = stat_float stats [ "cached" ] in
+  let cache_hit_rate = (coalesced +. cached) /. float_of_int total in
+  let tc_hit_rate =
+    if tc_lookups > 0 then float_of_int tc.Simbridge.Runner.tc_hits /. float_of_int tc_lookups
+    else 0.0
+  in
+  Printf.printf
+    "served %d queries in %.1f s (%.1f q/s): %.0f computed, %.0f coalesced, %.0f cached; \
+     latency p50 %.0f ms / p99 %.0f ms; aggregate %.1f MIPS\n\
+     trace cache (cold start): %d hits / %d lookups (%.0f%% cross-request hit rate)\n%!"
+    total serve_wall qps computed coalesced cached (p50 *. 1e3) (p99 *. 1e3) mips
+    tc.Simbridge.Runner.tc_hits tc_lookups (100.0 *. tc_hit_rate);
+  write_flat_json "BENCH_serve.json"
+    [
+      ("queries", float_of_int total);
+      ("clients", float_of_int serve_clients);
+      ("unique_keys", float_of_int (List.length uniq));
+      ("verified", float_of_int (Atomic.get verified));
+      ("mismatches", float_of_int (Atomic.get mismatches));
+      ("wall_s", serve_wall);
+      ("oracle_wall_s", oracle_wall);
+      ("qps", qps);
+      ("p50_ms", p50 *. 1e3);
+      ("p99_ms", p99 *. 1e3);
+      ("aggregate_mips", mips);
+      ("computed", computed);
+      ("coalesced", coalesced);
+      ("cached", cached);
+      ("response_cache_hit_rate", cache_hit_rate);
+      ("trace_cache_hits", float_of_int tc.Simbridge.Runner.tc_hits);
+      ("trace_cache_misses", float_of_int tc.Simbridge.Runner.tc_misses);
+      ("trace_cache_hit_rate", tc_hit_rate);
+    ];
+  let ok = Atomic.get mismatches = 0 && Atomic.get verified = total in
+  let tc_ok = tc.Simbridge.Runner.tc_hits > 0 in
+  let module J = Validate.Jsonx in
+  let report =
+    Ledger.Run_report.build
+      ~wall_s:(Unix.gettimeofday () -. t0)
+      ~exit_status:(if ok && tc_ok then 0 else 1)
+      ~command:"bench serve" ~config:[ ("clients", J.Num (float_of_int serve_clients)) ]
+      ~telemetry:reg
+      ~extra:
+        [
+          ( "serve_bench",
+            J.Obj
+              [
+                ("queries", J.Num (float_of_int total));
+                ("verified", J.Num (float_of_int (Atomic.get verified)));
+                ("qps", J.Num qps);
+                ("p50_ms", J.Num (p50 *. 1e3));
+                ("p99_ms", J.Num (p99 *. 1e3));
+                ("aggregate_mips", J.Num mips);
+                ("trace_cache_hit_rate", J.Num tc_hit_rate);
+              ] );
+          ("serve", stats);
+        ]
+      ()
+  in
+  Ledger.Run_report.write ~path:"run-report.json" report;
+  Printf.printf "run report    : run-report.json (%s)\n%!" (Ledger.Run_report.summary_line report);
+  if not ok then begin
+    Printf.printf "FAIL serve: %d/%d payloads verified, %d mismatches\n" (Atomic.get verified)
+      total (Atomic.get mismatches);
+    exit 1
+  end;
+  if not tc_ok then begin
+    Printf.printf "FAIL serve: no cross-request trace-cache hits (hit rate must be > 0)\n";
+    exit 1
+  end;
+  Printf.printf
+    "serve gate: PASS (%d/%d byte-identical to the sequential oracle at any interleaving, \
+     trace-cache hit rate %.0f%%)\n%!"
+    (Atomic.get verified) total (100.0 *. tc_hit_rate)
+
 (* ----------------------------------------------------------- bechamel *)
 
 let staged = Bechamel.Staged.stage
@@ -464,8 +690,10 @@ let () =
   | [ _; "perf" ] -> run_perf_gate ~identity_only:false ()
   | [ _; "perf-identity" ] -> run_perf_gate ~identity_only:true ()
   | [ _; "perf-baseline" ] -> run_perf_baseline ()
+  | [ _; "serve" ] -> run_serve_gate ()
   | [ _; id ] -> run_experiment id
   | _ ->
     prerr_endline
-      "usage: main.exe [experiment-id | bechamel | sampling | parallel | perf | perf-identity | perf-baseline]";
+      "usage: main.exe [experiment-id | bechamel | sampling | parallel | perf | perf-identity | \
+       perf-baseline | serve]";
     exit 1

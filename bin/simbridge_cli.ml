@@ -16,7 +16,13 @@
    run-report.json (lib/ledger) and `run` also writes a span-annotated
    Chrome trace; all human notices about those files go to stderr so
    stdout stays byte-identical across job counts (the parallel smoke
-   compares it). *)
+   compares it).
+
+   Service mode (lib/serve):
+     serve                persistent daemon answering NDJSON queries over
+                          a Unix/TCP socket, batching across clients
+     query                one query against a running daemon; stdout is
+                          byte-identical to the one-shot command *)
 
 open Cmdliner
 
@@ -113,18 +119,7 @@ let csv_figure jobs trace_capacity report_path id scale =
   let t0 = Unix.gettimeofday () in
   let fig =
     Telemetry.Span.root ~name:("csv:" ^ id) reg (fun () ->
-        let telemetry = reg in
-        match id with
-        | "fig1" -> Some (Simbridge.Experiments.fig1 ~scale ~telemetry ())
-        | "fig2" -> Some (Simbridge.Experiments.fig2 ~scale ~telemetry ())
-        | "fig5" -> Some (Simbridge.Experiments.fig5 ~scale ~telemetry ())
-        | "fig6" -> Some (Simbridge.Experiments.fig6 ~scale ~telemetry ())
-        | "fig7" -> Some (Simbridge.Experiments.fig7 ~scale ~telemetry ())
-        | "fig3a" -> Some (List.nth (Simbridge.Experiments.fig3 ~scale ~telemetry ()) 0)
-        | "fig3b" -> Some (List.nth (Simbridge.Experiments.fig3 ~scale ~telemetry ()) 1)
-        | "fig4a" -> Some (List.nth (Simbridge.Experiments.fig4 ~scale ~telemetry ()) 0)
-        | "fig4b" -> Some (List.nth (Simbridge.Experiments.fig4 ~scale ~telemetry ()) 1)
-        | _ -> None)
+        Simbridge.Experiments.figure_by_id ~scale ~telemetry:reg id)
   in
   Ledger.Progress.uninstall ();
   let wall_s = Unix.gettimeofday () -. t0 in
@@ -141,7 +136,8 @@ let csv_figure jobs trace_capacity report_path id scale =
         ]
       ~reg ~wall_s ~report_path ~trace_path:"" ()
   | None ->
-    Format.eprintf "unknown figure %s (fig1, fig2, fig3a, fig3b, fig4a, fig4b, fig5-7)@." id;
+    Format.eprintf "unknown figure %s (%s)@." id
+      (String.concat ", " Simbridge.Experiments.figure_ids);
     exit 1
 
 let print_result (r : Platform.Soc.result) =
@@ -486,6 +482,16 @@ let history_record path report_file =
       Format.printf "recorded %s (%s) -> %s@." e.Ledger.History.h_run_id
         e.Ledger.History.h_command path)
 
+(* Empty-ledger contract (documented in the subcommand docs): a missing
+   or empty history file is a normal state for `show` (exit 0, clear
+   pointer at how to record) but means `check` has nothing to gate on
+   (exit 2 — distinct from exit 1, which is a real regression). *)
+let no_history_message path =
+  Format.sprintf
+    "no history recorded yet (%s is missing or empty); run an experiment and `simbridge history \
+     record run-report.json` to start the ledger"
+    path
+
 let history_show path csv last =
   let entries = load_history path in
   let entries =
@@ -493,7 +499,7 @@ let history_show path csv last =
       List.filteri (fun i _ -> i >= List.length entries - last) entries
     else entries
   in
-  if entries = [] then Format.printf "history %s is empty@." path
+  if entries = [] then Format.printf "%s@." (no_history_message path)
   else print_string (if csv then Ledger.History.to_csv entries else Ledger.History.render entries)
 
 let history_compare path id_a id_b =
@@ -526,6 +532,10 @@ let history_compare path id_a id_b =
 
 let history_check path mips_drop =
   let entries = load_history path in
+  if entries = [] then begin
+    Format.printf "%s@." (no_history_message path);
+    exit 2
+  end;
   let r = Ledger.History.check ~mips_drop entries in
   List.iter (fun l -> Format.printf "%s@." l) r.Ledger.History.ck_lines;
   if not r.Ledger.History.ck_ok then begin
@@ -535,7 +545,160 @@ let history_check path mips_drop =
   Format.printf "history check : OK (%d entr%s)@." (List.length entries)
     (if List.length entries = 1 then "y" else "ies")
 
+(* --------------------------------------------------------------- serve *)
+
+let parse_addr flag s =
+  match Serve.Protocol.addr_of_string s with
+  | Ok a -> a
+  | Error msg ->
+    Format.eprintf "bad %s %S: %s@." flag s msg;
+    exit 1
+
+(* The daemon: one process-lifetime trace cache, one engine, one listen
+   socket.  SIGTERM/SIGINT (and a client `shutdown` frame) drain
+   in-flight requests, refuse new ones, then flush the ledger — the
+   final run report covers every request served. *)
+let run_serve verbose seed jobs trace_capacity report_path trace_path history_path listen
+    response_cache trace_cache_mib max_batch =
+  setup_logs verbose;
+  Util.Rng.set_global_seed seed;
+  setup_jobs jobs;
+  if trace_cache_mib > 0 then
+    Simbridge.Runner.set_trace_cache_limits ~words:(trace_cache_mib * 1024 * 1024 / 8) ();
+  let addr = parse_addr "--listen" listen in
+  let observing = report_path <> "" || trace_path <> "" || history_path <> "" in
+  let reg =
+    if observing then Telemetry.Registry.create ~trace_capacity () else Telemetry.Registry.disabled
+  in
+  let t0 = Unix.gettimeofday () in
+  let srv =
+    try
+      Serve.Server.create ~jobs ~response_cache_capacity:response_cache ~max_batch ~telemetry:reg
+        addr
+    with Unix.Unix_error (e, _, _) ->
+      Format.eprintf "cannot listen on %s: %s@."
+        (Serve.Protocol.addr_to_string addr)
+        (Unix.error_message e);
+      exit 1
+  in
+  let on_signal _ = Serve.Server.stop srv in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  Format.eprintf "serving on %s (jobs=%d, response cache=%d, batch<=%d); SIGTERM drains@."
+    (Serve.Protocol.addr_to_string addr)
+    jobs response_cache max_batch;
+  (* The root span wraps the whole service lifetime; the registry is
+     written by the main thread only here (before the dispatcher starts)
+     and after [run] returns (all service threads joined). *)
+  Telemetry.Span.root ~name:"serve" reg (fun () -> Serve.Server.run srv);
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let served = Serve.Engine.requests_served (Serve.Server.engine srv) in
+  Format.eprintf "drained after %d request%s in %.1f s@." served
+    (if served = 1 then "" else "s")
+    wall_s;
+  if observing then begin
+    let report =
+      Ledger.Run_report.build ~wall_s ~exit_status:0 ~command:"serve"
+        ~config:
+          [
+            ("listen", Validate.Jsonx.Str (Serve.Protocol.addr_to_string addr));
+            ("seed", num_j seed);
+            ("jobs", num_j jobs);
+            ("trace_capacity", num_j trace_capacity);
+            ("response_cache", num_j response_cache);
+            ("max_batch", num_j max_batch);
+          ]
+        ~extra:[ ("serve", Serve.Engine.stats_json (Serve.Server.engine srv)) ]
+        ~telemetry:reg ()
+    in
+    if report_path <> "" then begin
+      Ledger.Run_report.write ~path:report_path report;
+      Format.eprintf "run report    : %s (%s)@." report_path
+        (Ledger.Run_report.summary_line report)
+    end;
+    if trace_path <> "" then begin
+      write_text trace_path (Telemetry.Export.chrome_trace reg);
+      Format.eprintf "run trace     : %s (load in ui.perfetto.dev)@." trace_path
+    end;
+    if history_path <> "" then begin
+      Ledger.History.append ~path:history_path report;
+      Format.eprintf "history       : recorded in %s@." history_path
+    end
+  end
+
+let run_query connect figure scale render cell ping stats shutdown show_report =
+  let addr = parse_addr "--connect" connect in
+  let usage_error msg =
+    Format.eprintf "%s@." msg;
+    exit 1
+  in
+  let op =
+    if ping then Serve.Protocol.Ping
+    else if stats then Serve.Protocol.Stats
+    else if shutdown then Serve.Protocol.Shutdown
+    else
+      match (cell, figure) with
+      | Some spec, None -> (
+        match String.split_on_char '/' spec with
+        | [ platform; kernel ] when platform <> "" && kernel <> "" ->
+          Serve.Protocol.(Run (Cell { platform; kernel; scale }))
+        | _ -> usage_error (Printf.sprintf "--cell wants PLATFORM/KERNEL, got %S" spec))
+      | None, Some figure ->
+        Serve.Protocol.(Run (Figure { fmt = (if render then `Render else `Csv); figure; scale }))
+      | Some _, Some _ -> usage_error "give either FIGURE or --cell, not both"
+      | None, None -> usage_error "nothing to ask: give FIGURE, --cell, --ping, --stats, or --shutdown"
+  in
+  let client =
+    try Serve.Client.connect addr
+    with Unix.Unix_error (e, _, _) ->
+      Format.eprintf "cannot connect to %s: %s (is `simbridge serve` running?)@."
+        (Serve.Protocol.addr_to_string addr)
+        (Unix.error_message e);
+      exit 1
+  in
+  let finish code =
+    Serve.Client.close client;
+    exit code
+  in
+  match Serve.Client.rpc client Serve.Protocol.{ rq_id = "cli"; rq_op = op } with
+  | Error msg ->
+    Format.eprintf "query failed: %s@." msg;
+    finish 1
+  | Ok { Serve.Protocol.rs_result = Error msg; _ } ->
+    Format.eprintf "server error: %s@." msg;
+    finish 1
+  | Ok { Serve.Protocol.rs_result = Ok (payload, report); _ } ->
+    (* payload only on stdout: `query FIG` diffs clean against `csv FIG`.
+       Figure/cell payloads are newline-terminated already; the inline
+       ops ("pong", "draining") are not, so terminate the line here. *)
+    print_string payload;
+    if payload <> "" && payload.[String.length payload - 1] <> '\n' then print_newline ();
+    if show_report then
+      Format.eprintf "%s@." (Validate.Jsonx.to_string ~indent:2 report);
+    finish 0
+
 (* ------------------------------------------------------------------ cli *)
+
+(* Shared validated integer convs: every command parses --jobs and
+   --trace-capacity (and serve's sizing flags) through these, so
+   negatives and garbage die at parse time with one uniform usage error
+   — cmdliner prefixes it with the flag name, e.g.
+   "option '--jobs': expected a non-negative integer, got '-3'". *)
+let nonneg_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> Ok n
+    | Some _ | None -> Error (`Msg (Printf.sprintf "expected a non-negative integer, got '%s'" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let pos_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some _ | None -> Error (`Msg (Printf.sprintf "expected a positive integer, got '%s'" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
 
 let scale_arg =
   Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Workload size multiplier (default 1.0).")
@@ -552,7 +715,7 @@ let seed_arg =
 
 let jobs_arg =
   Arg.(
-    value & opt int 0
+    value & opt nonneg_int 0
     & info [ "jobs"; "j" ]
         ~doc:
           "Worker domains for grid experiments: $(b,0) (default) = auto \
@@ -561,7 +724,7 @@ let jobs_arg =
 
 let trace_capacity_arg =
   Arg.(
-    value & opt int 65536
+    value & opt nonneg_int 65536
     & info [ "trace-capacity" ]
         ~doc:
           "Telemetry trace-ring capacity in events (default 65536). When the ring overflows the \
@@ -766,7 +929,11 @@ let history_cmd =
     let last =
       Arg.(value & opt int 0 & info [ "last" ] ~doc:"Show only the newest $(docv) entries (0 = all)." ~docv:"N")
     in
-    Cmd.v (Cmd.info "show" ~doc:"Render the recorded trend table (MIPS, wall, fidelity over time)")
+    Cmd.v
+      (Cmd.info "show"
+         ~doc:
+           "Render the recorded trend table (MIPS, wall, fidelity over time). With no history \
+            recorded yet (missing or empty ledger) prints a pointer and exits 0.")
       Term.(const history_show $ path $ csv $ last)
   in
   let compare =
@@ -790,13 +957,115 @@ let history_cmd =
     Cmd.v
       (Cmd.info "check"
          ~doc:
-           "Regression gate: exit nonzero when the newest entry drifted fidelity or regressed \
-            aggregate MIPS beyond the threshold")
+           "Regression gate: exit 1 when the newest entry drifted fidelity or regressed \
+            aggregate MIPS beyond the threshold; exit 2 when no history has been recorded yet \
+            (or the ledger is unreadable), so CI can tell \"regression\" from \"no data\"")
       Term.(const history_check $ path $ mips_drop)
   in
   Cmd.group
     (Cmd.info "history" ~doc:"Run ledger: record run reports and track perf/fidelity trends")
     [ record; show; compare; check ]
+
+let listen_arg =
+  Arg.(
+    value & opt string "simbridge.sock"
+    & info [ "listen" ]
+        ~doc:
+          "Endpoint to serve on: $(b,unix:PATH) (or a bare path) for a Unix socket, \
+           $(b,tcp:HOST:PORT) for TCP."
+        ~docv:"ADDR")
+
+let serve_cmd =
+  let trace =
+    Arg.(
+      value & opt string ""
+      & info [ "trace" ]
+          ~doc:"Write the span-annotated Chrome/Perfetto trace at shutdown (empty to skip)."
+          ~docv:"FILE")
+  in
+  let history =
+    Arg.(
+      value & opt string ""
+      & info [ "history" ]
+          ~doc:"Append the final run report to this history ledger at shutdown (empty to skip)."
+          ~docv:"FILE")
+  in
+  let response_cache =
+    Arg.(
+      value & opt nonneg_int 64
+      & info [ "response-cache" ]
+          ~doc:"Response LRU capacity in entries (0 disables; default 64)."
+          ~docv:"N")
+  in
+  let trace_cache_mib =
+    Arg.(
+      value & opt nonneg_int 0
+      & info [ "trace-cache-mib" ]
+          ~doc:
+            "Size the process-lifetime compiled-trace cache to roughly $(docv) MiB (0 = keep the \
+             default 192 MiB)."
+          ~docv:"MIB")
+  in
+  let max_batch =
+    Arg.(
+      value & opt pos_int 64
+      & info [ "max-batch" ]
+          ~doc:"Most queued requests one dispatcher batch may coalesce (default 64)."
+          ~docv:"N")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve figure/cell queries as a persistent daemon (NDJSON over a Unix/TCP socket). \
+          Payloads are byte-identical to the one-shot commands at any --jobs and any client \
+          interleaving; SIGTERM/SIGINT (or a client $(b,shutdown) frame) drains in-flight \
+          requests, refuses new ones, and flushes the run report before exiting 0.")
+    Term.(
+      const run_serve $ verbose_arg $ seed_arg $ jobs_arg $ trace_capacity_arg $ report_arg
+      $ trace $ history $ listen_arg $ response_cache $ trace_cache_mib $ max_batch)
+
+let query_cmd =
+  let connect =
+    Arg.(
+      value & opt string "simbridge.sock"
+      & info [ "connect" ]
+          ~doc:"Daemon endpoint: $(b,unix:PATH), a bare path, or $(b,tcp:HOST:PORT)."
+          ~docv:"ADDR")
+  in
+  let figure = Arg.(value & pos 0 (some string) None & info [] ~docv:"FIGURE") in
+  let render =
+    Arg.(value & flag & info [ "render" ] ~doc:"Ask for the ASCII chart instead of CSV.")
+  in
+  let cell =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cell" ]
+          ~doc:"Run one microbench grid cell: $(docv) is PLATFORM/KERNEL (e.g. \
+                $(b,banana-pi-sim/DL1m))."
+          ~docv:"SPEC")
+  in
+  let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Liveness probe.") in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print the daemon's service counters.") in
+  let shutdown =
+    Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the daemon to drain and exit.")
+  in
+  let show_report =
+    Arg.(
+      value & flag
+      & info [ "show-report" ]
+          ~doc:"Print the per-request report section (served-from, queue wait, phases, \
+                trace-cache delta) to stderr.")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Send one query to a running $(b,simbridge serve) daemon. Exit 0 with the payload on \
+          stdout (byte-identical to the one-shot command), 1 on a server error or when the \
+          daemon is unreachable.")
+    Term.(
+      const run_query $ connect $ figure $ scale_arg $ render $ cell $ ping $ stats $ shutdown
+      $ show_report)
 
 let main =
   Cmd.group
@@ -804,7 +1073,7 @@ let main =
        ~doc:"Bridging Simulation and Silicon: FireSim-style models vs RISC-V silicon references")
     [
       platforms_cmd; experiments_cmd; run_cmd; csv_cmd; workload_cmd; tune_cmd; compare_cmd;
-      grid_cmd; dump_cmd; validate_cmd; history_cmd;
+      grid_cmd; dump_cmd; validate_cmd; history_cmd; serve_cmd; query_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -521,6 +521,26 @@ let fig7 ?(scale = 1.0) ?jobs ?telemetry () =
   app_pair_figure ?jobs ?telemetry ~id:"fig7" ~title:"LAMMPS Chain: FireSim models vs hardware"
     Workloads.Lammps.chain ~scale ()
 
+(* The per-panel figure index shared by `simbridge csv`, the validate
+   subsystem's recompute path, and the serve daemon: one id per rendered
+   CSV/golden file.  fig3/fig4 ids select a panel of the two-panel
+   figure (both panels are computed; the unused one is discarded, as the
+   one-shot CLI has always done). *)
+let figure_ids = [ "fig1"; "fig2"; "fig3a"; "fig3b"; "fig4a"; "fig4b"; "fig5"; "fig6"; "fig7" ]
+
+let figure_by_id ?scale ?jobs ?telemetry id =
+  match id with
+  | "fig1" -> Some (fig1 ?scale ?jobs ?telemetry ())
+  | "fig2" -> Some (fig2 ?scale ?jobs ?telemetry ())
+  | "fig3a" -> Some (List.nth (fig3 ?scale ?jobs ?telemetry ()) 0)
+  | "fig3b" -> Some (List.nth (fig3 ?scale ?jobs ?telemetry ()) 1)
+  | "fig4a" -> Some (List.nth (fig4 ?scale ?jobs ?telemetry ()) 0)
+  | "fig4b" -> Some (List.nth (fig4 ?scale ?jobs ?telemetry ()) 1)
+  | "fig5" -> Some (fig5 ?scale ?jobs ?telemetry ())
+  | "fig6" -> Some (fig6 ?scale ?jobs ?telemetry ())
+  | "fig7" -> Some (fig7 ?scale ?jobs ?telemetry ())
+  | _ -> None
+
 let app_runtime_table ?(scale = 1.0) ?jobs ?(telemetry = Telemetry.Registry.disabled) (app : W.app) =
   let platforms = [ Cat.banana_pi_hw; Cat.banana_pi_sim; Cat.milkv_hw; Cat.milkv_sim ] in
   let ranks_list = [ 1; 2; 4 ] in

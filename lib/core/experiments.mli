@@ -125,6 +125,18 @@ val fig6 : ?scale:float -> ?jobs:int -> ?telemetry:Telemetry.Registry.t -> unit 
 val fig7 : ?scale:float -> ?jobs:int -> ?telemetry:Telemetry.Registry.t -> unit -> figure
 (** LAMMPS Chain. *)
 
+val figure_ids : string list
+(** Every per-panel figure id: [fig1; fig2; fig3a; fig3b; fig4a; fig4b;
+    fig5; fig6; fig7] — the vocabulary shared by [simbridge csv], the
+    golden CSVs, and the serve protocol. *)
+
+val figure_by_id :
+  ?scale:float -> ?jobs:int -> ?telemetry:Telemetry.Registry.t -> string -> figure option
+(** Compute one panel by id ([None] for an unknown id).  [fig3a]
+    etc. compute the parent two-panel figure and return the requested
+    panel, exactly as the one-shot CLI does — so a served payload built
+    from this function is byte-identical to [simbridge csv ID]. *)
+
 val app_runtime_table :
   ?scale:float -> ?jobs:int -> ?telemetry:Telemetry.Registry.t -> Workloads.Workload.app -> string
 (** Absolute target runtimes (seconds) for 1/2/4 ranks on all four

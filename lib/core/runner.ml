@@ -58,9 +58,12 @@ module Trace_cache = struct
      every (kernel, setup/measure) pair — ~42 keys for fig1/fig2.  The
      entry bound only caps Hashtbl bookkeeping; the word bound
      (~3 words/instruction) is what keeps large-scale sweeps from pinning
-     gigabytes of compiled traces. *)
-  let max_entries = 128
-  let max_words = 24_000_000
+     gigabytes of compiled traces.  Both are refs so a process that keeps
+     the cache for its whole lifetime (the serve daemon) can size it at
+     startup; they are startup-only, like the pool's default job count —
+     resizing while cells are in flight would race the eviction scan. *)
+  let max_entries = ref 128
+  let max_words = ref 24_000_000
 
   let evict_lru () =
     let victim =
@@ -101,12 +104,12 @@ module Trace_cache = struct
          redundant work at worst, never corruption. *)
       let tr = f () in
       let w = Trace.words tr in
-      if w <= max_words then
+      if w <= !max_words then
         Mutex.protect mutex (fun () ->
             if not (Hashtbl.mem table key) then begin
               while
                 Hashtbl.length table > 0
-                && (Hashtbl.length table >= max_entries || !words_cached + w > max_words)
+                && (Hashtbl.length table >= !max_entries || !words_cached + w > !max_words)
               do
                 evict_lru ()
               done;
@@ -133,6 +136,16 @@ end
 
 let trace_cache_stats = Trace_cache.stats
 let trace_cache_clear = Trace_cache.clear
+
+let set_trace_cache_limits ?entries ?words () =
+  (match entries with
+  | Some n when n < 1 -> invalid_arg "set_trace_cache_limits: entries must be >= 1"
+  | Some n -> Trace_cache.max_entries := n
+  | None -> ());
+  match words with
+  | Some n when n < 1 -> invalid_arg "set_trace_cache_limits: words must be >= 1"
+  | Some n -> Trace_cache.max_words := n
+  | None -> ()
 
 let publish_trace_cache_stats reg =
   if Registry.enabled reg then begin

@@ -32,6 +32,15 @@ val trace_cache_stats : unit -> trace_cache_stats
 val trace_cache_clear : unit -> unit
 (** Drop every cached trace and zero the counters (benchmark isolation). *)
 
+val set_trace_cache_limits : ?entries:int -> ?words:int -> unit -> unit
+(** Re-size the process-wide compiled-trace cache (defaults: 128
+    entries, 24M words ≈ 192 MiB).  A one-shot CLI run never needs
+    this; the serve daemon keeps the cache for its whole lifetime and
+    sizes it to the deployment at startup ([--trace-cache-mib]).
+    {b Startup-only}, like {!Parallel.Pool.set_default_jobs}: must be
+    called before any cell runs.  Raises [Invalid_argument] on
+    non-positive values. *)
+
 val publish_trace_cache_stats : Telemetry.Registry.t -> unit
 (** Snapshot {!trace_cache_stats} into the registry as the
     [trace.cache.hits]/[trace.cache.misses]/[trace.cache.evictions]

@@ -1,0 +1,37 @@
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect (addr : Protocol.addr) =
+  let fd, sockaddr =
+    match addr with
+    | `Unix path -> (Unix.socket PF_UNIX SOCK_STREAM 0, Unix.ADDR_UNIX path)
+    | `Tcp (host, port) ->
+      let ip =
+        if host = "" then Unix.inet_addr_loopback
+        else
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (Unix.gethostbyname host).h_addr_list.(0)
+      in
+      (Unix.socket PF_INET SOCK_STREAM 0, Unix.ADDR_INET (ip, port))
+  in
+  (match Unix.connect fd sockaddr with
+  | () -> ()
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let send t req =
+  output_string t.oc (Protocol.print_request req);
+  output_char t.oc '\n';
+  flush t.oc
+
+let recv t =
+  match input_line t.ic with
+  | exception (End_of_file | Sys_error _) -> Error "connection closed"
+  | line -> Protocol.parse_response line
+
+let rpc t req =
+  send t req;
+  recv t
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,46 @@
+(** The serve daemon's socket front end.
+
+    One accept loop (the thread that calls {!run}), one reader thread
+    per connection, and one dispatcher thread draining the shared
+    {!Parallel.Jobq} into {!Engine.execute} batches.  Requests arriving
+    close together — from one pipelining client or from many concurrent
+    clients — land in the same batch and are coalesced by the engine.
+
+    {b Graceful shutdown.}  {!stop} (also triggered by a [shutdown]
+    request frame; the CLI wires SIGTERM/SIGINT to it) drains rather
+    than kills: the listener closes first (new connections refused),
+    then the queue closes (late requests get a one-line ["server is
+    draining"] error frame), the dispatcher finishes every queued
+    request and writes every response, and only then are client sockets
+    shut down and reader threads joined.  Responses are serialized
+    fully before a single locked write+flush, so a client never
+    observes a partial frame — even across a mid-batch shutdown.
+    {!run} returns after the drain; the CLI then writes the final run
+    report from the daemon registry. *)
+
+type t
+
+val create :
+  ?jobs:int ->
+  ?response_cache_capacity:int ->
+  ?max_batch:int ->
+  ?telemetry:Telemetry.Registry.t ->
+  Protocol.addr ->
+  t
+(** Bind and listen immediately (raises [Unix.Unix_error] on failure; a
+    stale Unix-socket path is unlinked first).  [max_batch] caps how
+    many queued requests one {!Engine.execute} call may take (default
+    64); the remaining options are passed to {!Engine.create}. *)
+
+val engine : t -> Engine.t
+
+val run : t -> unit
+(** Serve until {!stop}: accepts in the calling thread (polling the
+    stop flag every 250 ms), then performs the full drain sequence
+    before returning.  Call once. *)
+
+val stop : t -> unit
+(** Request shutdown.  Only sets an atomic flag — safe from signal
+    handlers and any thread; idempotent. *)
+
+val stopped : t -> bool

@@ -203,6 +203,8 @@ let span_start t ?(root = false) name =
       { s_live = true; s_id = id; s_name = name; s_parent = parent; s_wall0 = Unix.gettimeofday () }
     end
 
+let span_id sp = sp.s_id
+
 let span_end t sp ?(args = []) () =
   if sp.s_live then begin
     (match t.span_stack with

@@ -132,6 +132,12 @@ val span_end : t -> span -> ?args:(string * Trace.arg) list -> unit -> unit
 (** Close a span: records one 'X' event with [("span", id)] and
     [("parent", parent_id)] prepended to [args]. *)
 
+val span_id : span -> string
+(** The span's deterministic id ([""] for a dead span) — callers that
+    publish results outside the trace (e.g. the serve daemon's
+    per-request response sections) use it to cross-link a payload to
+    its subtree in the Perfetto timeline. *)
+
 val span_with : t -> ?root:bool -> ?args:(string * Trace.arg) list -> string -> (unit -> 'a) -> 'a
 (** [span_with t name f] wraps [f] in {!span_start}/{!span_end}; the
     span is closed (and recorded) even when [f] raises. *)

@@ -11,3 +11,4 @@ type open_span = { os_reg : Registry.t; os_span : Registry.span }
 
 let start ?root ~name reg = { os_reg = reg; os_span = Registry.span_start reg ?root name }
 let finish ?(attrs = []) os = Registry.span_end os.os_reg os.os_span ~args:attrs ()
+let id os = Registry.span_id os.os_span

@@ -30,3 +30,8 @@ val start : ?root:bool -> name:string -> Registry.t -> open_span
 val finish : ?attrs:attr list -> open_span -> unit
 (** Imperative pair for spans that cannot wrap a closure (attrs only
     known at the end). *)
+
+val id : open_span -> string
+(** The span's deterministic id ({!Registry.span_id}); [""] when dead.
+    Lets out-of-band artifacts (serve response sections, reports) point
+    back into the trace. *)

@@ -10,8 +10,18 @@
     replayed any number of times (setup, warming, detailed pass, multiple
     platforms).
 
-    Traces are immutable after [compile] and safe to share across
-    domains. *)
+    {b Sharing contract.}  Traces are immutable after [compile] and safe
+    to share across domains and threads without synchronization; only
+    the {e table} that maps keys to traces needs locking, never the
+    traces themselves.  {!Simbridge.Runner}'s cross-cell LRU relies on
+    this: its mutex guards table lookups and evictions, compilation
+    happens outside the lock (two racers on one key do redundant work,
+    never corruption), and an evicted trace stays valid for every holder
+    that already fetched it — eviction only drops the table's reference.
+    The same contract is what lets a persistent service ([simbridge
+    serve]) keep one process-lifetime cache serving concurrent client
+    requests: a compiled trace handed to an in-flight request can never
+    be invalidated under it. *)
 
 type t
 

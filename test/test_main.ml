@@ -25,4 +25,5 @@ let () =
       ("simbridge", Test_simbridge.suite);
       ("validate", Test_validate.suite);
       ("integration", Test_integration.suite);
+      ("serve", Test_serve.suite);
     ]

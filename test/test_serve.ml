@@ -1,0 +1,348 @@
+(* Tests for the serve subsystem: protocol round-trips (qcheck),
+   malformed-frame rejection, the batching engine (dedup / coalesce /
+   response cache / oracle identity), the blocking job queue, and a real
+   Unix-socket daemon exercised by concurrent clients including a
+   mid-batch shutdown that must never leave a partial frame. *)
+
+module P = Serve.Protocol
+module Engine = Serve.Engine
+module J = Validate.Jsonx
+
+(* ------------------------------------------------------------ protocol *)
+
+let gen_request =
+  let open QCheck.Gen in
+  let id = map (Printf.sprintf "r%d") small_nat in
+  let name = oneofl [ "fig1"; "fig2"; "fig7"; "x"; "weird fig"; "banana-pi-sim" ] in
+  let scale = oneof [ float_range 0.001 100.0; return 1.0; return 0.15; return 8.0 ] in
+  let op =
+    oneof
+      [
+        return P.Ping;
+        return P.Stats;
+        return P.Shutdown;
+        map3 (fun fmt figure scale -> P.Run (P.Figure { fmt; figure; scale }))
+          (oneofl [ `Csv; `Render ])
+          name scale;
+        map3
+          (fun platform kernel scale -> P.Run (P.Cell { platform; kernel; scale }))
+          name name scale;
+      ]
+  in
+  map2 (fun rq_id rq_op -> P.{ rq_id; rq_op }) id op
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"request print -> parse -> print is byte-identical" ~count:500
+    (QCheck.make gen_request) (fun r ->
+      let line = P.print_request r in
+      match P.parse_request line with
+      | Error msg -> QCheck.Test.fail_reportf "own frame rejected: %s" msg
+      | Ok r' -> String.equal line (P.print_request r'))
+
+let prop_request_frame_single_line =
+  QCheck.Test.make ~name:"request frames never contain raw newlines" ~count:500
+    (QCheck.make gen_request) (fun r -> not (String.contains (P.print_request r) '\n'))
+
+let test_response_roundtrip () =
+  let report =
+    J.Obj [ ("served", J.Str "computed"); ("phases", J.Arr [ J.Obj [ ("name", J.Str "measure") ] ]) ]
+  in
+  let check r =
+    let line = P.print_response r in
+    Alcotest.(check bool) "single line" false (String.contains line '\n');
+    match P.parse_response line with
+    | Error msg -> Alcotest.failf "own response rejected: %s" msg
+    | Ok r' -> Alcotest.(check string) "byte-identical" line (P.print_response r')
+  in
+  check { P.rs_id = "a"; rs_result = Ok ("x,y\n1,2\n", report) };
+  check { P.rs_id = "b"; rs_result = Error "unknown figure \"fig99\"" }
+
+let test_malformed_frames () =
+  let valid =
+    P.print_request
+      { P.rq_id = "a"; rq_op = P.Run (P.Figure { fmt = `Csv; figure = "fig1"; scale = 1.0 }) }
+  in
+  let reject what line =
+    match P.parse_request line with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s should have been rejected: %s" what line
+  in
+  reject "truncated frame" (String.sub valid 0 (String.length valid - 5));
+  reject "non-JSON" "hello there";
+  reject "empty line" "";
+  reject "non-object" "[1,2,3]";
+  reject "missing schema" {|{"id":"x","op":"ping"}|};
+  reject "wrong schema version" {|{"schema":"simbridge-serve/2","id":"x","op":"ping"}|};
+  reject "missing id" {|{"schema":"simbridge-serve/1","op":"ping"}|};
+  reject "empty id" {|{"schema":"simbridge-serve/1","id":"","op":"ping"}|};
+  reject "unknown op" {|{"schema":"simbridge-serve/1","id":"x","op":"dance"}|};
+  reject "csv without figure" {|{"schema":"simbridge-serve/1","id":"x","op":"csv"}|};
+  reject "negative scale"
+    {|{"schema":"simbridge-serve/1","id":"x","op":"csv","figure":"fig1","scale":-1}|};
+  reject "zero scale"
+    {|{"schema":"simbridge-serve/1","id":"x","op":"csv","figure":"fig1","scale":0}|};
+  reject "string scale"
+    {|{"schema":"simbridge-serve/1","id":"x","op":"csv","figure":"fig1","scale":"big"}|};
+  reject "cell without kernel"
+    {|{"schema":"simbridge-serve/1","id":"x","op":"cell","platform":"banana-pi-sim"}|};
+  (* the wrong-schema error must say what the server does speak *)
+  (match P.parse_request {|{"schema":"bogus/9","id":"x","op":"ping"}|} with
+  | Error msg ->
+    let has_needle needle =
+      let n = String.length needle and l = String.length msg in
+      let rec go i = i + n <= l && (String.sub msg i n = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "names the supported schema" true (has_needle P.schema)
+  | Ok _ -> Alcotest.fail "bogus schema accepted");
+  (* scale defaults to 1.0 when absent *)
+  match P.parse_request {|{"schema":"simbridge-serve/1","id":"x","op":"csv","figure":"fig1"}|} with
+  | Ok { P.rq_op = P.Run (P.Figure { scale; _ }); _ } ->
+    Alcotest.(check (float 0.0)) "default scale" 1.0 scale
+  | _ -> Alcotest.fail "frame without scale should parse"
+
+let test_addr_parsing () =
+  Alcotest.(check bool) "bare path" true (P.addr_of_string "/tmp/x.sock" = Ok (`Unix "/tmp/x.sock"));
+  Alcotest.(check bool) "unix: prefix" true (P.addr_of_string "unix:x.sock" = Ok (`Unix "x.sock"));
+  Alcotest.(check bool) "tcp" true (P.addr_of_string "tcp:localhost:7007" = Ok (`Tcp ("localhost", 7007)));
+  Alcotest.(check bool) "bad port" true (Result.is_error (P.addr_of_string "tcp:localhost:banana"));
+  Alcotest.(check bool) "no port" true (Result.is_error (P.addr_of_string "tcp:localhost"));
+  Alcotest.(check bool) "empty" true (Result.is_error (P.addr_of_string ""));
+  List.iter
+    (fun a ->
+      match P.addr_of_string (P.addr_to_string a) with
+      | Ok a' -> Alcotest.(check bool) "addr round-trips" true (a = a')
+      | Error msg -> Alcotest.failf "addr round-trip failed: %s" msg)
+    [ `Unix "/tmp/y.sock"; `Tcp ("127.0.0.1", 9) ]
+
+(* ---------------------------------------------------------------- jobq *)
+
+let test_jobq_order_and_close () =
+  let q = Parallel.Jobq.create () in
+  List.iter (fun i -> Alcotest.(check bool) "push accepted" true (Parallel.Jobq.push q i)) [ 1; 2; 3 ];
+  Alcotest.(check (list int)) "drains in push order" [ 1; 2; 3 ] (Parallel.Jobq.pop_batch q);
+  ignore (Parallel.Jobq.push q 4);
+  Parallel.Jobq.close q;
+  Alcotest.(check bool) "push after close refused" false (Parallel.Jobq.push q 5);
+  Alcotest.(check (list int)) "queued items survive close" [ 4 ] (Parallel.Jobq.pop_batch q);
+  Alcotest.(check (list int)) "closed+empty returns []" [] (Parallel.Jobq.pop_batch q)
+
+let test_jobq_blocking_consumer () =
+  let q = Parallel.Jobq.create () in
+  let got = ref [] in
+  let consumer =
+    Thread.create
+      (fun () ->
+        let rec loop () =
+          match Parallel.Jobq.pop_batch q with
+          | [] -> ()
+          | items ->
+            got := !got @ items;
+            loop ()
+        in
+        loop ())
+      ()
+  in
+  List.iter
+    (fun i ->
+      Thread.yield ();
+      ignore (Parallel.Jobq.push q i))
+    [ 10; 20; 30 ];
+  (* close wakes the blocked consumer once everything is drained *)
+  Unix.sleepf 0.02;
+  Parallel.Jobq.close q;
+  Thread.join consumer;
+  Alcotest.(check (list int)) "consumer saw every item in order" [ 10; 20; 30 ] !got
+
+(* -------------------------------------------------------------- engine *)
+
+(* ED1 (length-1 int dependency chain) at tiny scale: the cheapest real
+   simulation cell, so engine tests stay fast. *)
+let cellq ?(scale = 0.02) () = P.Cell { platform = "banana-pi-sim"; kernel = "ED1"; scale }
+
+let mk_pending id q = Engine.{ p_req = P.{ rq_id = id; rq_op = Run q }; p_enqueued_s = 0.0 }
+
+let served_of resp =
+  match resp.P.rs_result with
+  | Error msg -> Alcotest.failf "unexpected error response: %s" msg
+  | Ok (_, report) -> (
+    match J.member "served" report with
+    | Some (J.Str s) -> s
+    | _ -> Alcotest.fail "report has no served field")
+
+let payload_of resp =
+  match resp.P.rs_result with
+  | Error msg -> Alcotest.failf "unexpected error response: %s" msg
+  | Ok (payload, _) -> payload
+
+let test_engine_dedup_and_cache () =
+  let e = Engine.create ~jobs:1 () in
+  let q = cellq () in
+  let batch = [ mk_pending "a" q; mk_pending "b" q; mk_pending "c" (cellq ~scale:0.03 ()) ] in
+  (match Engine.execute e batch with
+  | [ ra; rb; rc ] ->
+    Alcotest.(check string) "ids echoed in order" "a,b,c"
+      (String.concat "," [ ra.P.rs_id; rb.P.rs_id; rc.P.rs_id ]);
+    Alcotest.(check string) "first arrival computed" "computed" (served_of ra);
+    Alcotest.(check string) "duplicate coalesced" "coalesced" (served_of rb);
+    Alcotest.(check string) "distinct key computed" "computed" (served_of rc);
+    Alcotest.(check string) "coalesced payload identical" (payload_of ra) (payload_of rb)
+  | rs -> Alcotest.failf "expected 3 responses, got %d" (List.length rs));
+  (* a later batch with the same key is served from the response LRU *)
+  match Engine.execute e [ mk_pending "d" q ] with
+  | [ rd ] ->
+    Alcotest.(check string) "second batch cached" "cached" (served_of rd);
+    (match Engine.oracle q with
+    | Ok expect -> Alcotest.(check string) "cached payload = sequential oracle" expect (payload_of rd)
+    | Error msg -> Alcotest.failf "oracle failed: %s" msg);
+    Alcotest.(check int) "four requests counted" 4 (Engine.requests_served e)
+  | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs)
+
+let test_engine_errors_and_inline () =
+  let e = Engine.create ~jobs:1 () in
+  let bad_fig = P.Figure { fmt = `Csv; figure = "fig99"; scale = 1.0 } in
+  let bad_cell = P.Cell { platform = "banana-pi-sim"; kernel = "NOPE"; scale = 1.0 } in
+  let batch =
+    [
+      mk_pending "f" bad_fig;
+      mk_pending "c" bad_cell;
+      Engine.{ p_req = P.{ rq_id = "p"; rq_op = Ping }; p_enqueued_s = 0.0 };
+      Engine.{ p_req = P.{ rq_id = "s"; rq_op = Stats }; p_enqueued_s = 0.0 };
+    ]
+  in
+  match Engine.execute e batch with
+  | [ rf; rc; rp; rs ] ->
+    (match rf.P.rs_result with
+    | Error msg -> Alcotest.(check bool) "unknown figure named" true
+        (String.length msg > 0 && String.sub msg 0 14 = "unknown figure")
+    | Ok _ -> Alcotest.fail "fig99 should fail");
+    Alcotest.(check bool) "unknown kernel errors" true (Result.is_error rc.P.rs_result);
+    Alcotest.(check string) "ping answers pong" "pong" (payload_of rp);
+    Alcotest.(check string) "ping served inline" "inline" (served_of rp);
+    (match J.parse (payload_of rs) with
+    | Ok stats ->
+      Alcotest.(check bool) "stats payload is JSON with schema" true
+        (J.member "schema" stats = Some (J.Str "simbridge-serve-stats/1"))
+    | Error msg -> Alcotest.failf "stats payload unparseable: %s" msg)
+  | rs -> Alcotest.failf "expected 4 responses, got %d" (List.length rs)
+
+let test_engine_figure_oracle_identity () =
+  (* the headline contract, in-process: a served figure payload is
+     byte-identical to the one-shot CSV at a different jobs setting *)
+  let e = Engine.create ~jobs:2 () in
+  let q = P.Figure { fmt = `Csv; figure = "fig1"; scale = 0.05 } in
+  match Engine.execute e [ mk_pending "x" q ] with
+  | [ r ] -> (
+    match Engine.oracle q with
+    | Ok expect ->
+      Alcotest.(check string) "served fig1 = sequential oracle" expect (payload_of r)
+    | Error msg -> Alcotest.failf "oracle failed: %s" msg)
+  | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs)
+
+(* -------------------------------------------------------------- server *)
+
+let with_server ?jobs f =
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "simbridge-test-%d-%d.sock" (Unix.getpid ()) (Hashtbl.hash f land 0xFFFF))
+  in
+  let srv = Serve.Server.create ?jobs (`Unix sock) in
+  let th = Thread.create Serve.Server.run srv in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.stop srv;
+      Thread.join th;
+      try Unix.unlink sock with Unix.Unix_error _ -> ())
+    (fun () -> f sock srv)
+
+let test_server_concurrent_clients () =
+  with_server ~jobs:1 (fun sock _srv ->
+      let q = cellq () in
+      let expect = match Engine.oracle q with Ok p -> p | Error m -> Alcotest.fail m in
+      let run_client tag =
+        let c = Serve.Client.connect (`Unix sock) in
+        let r1 = Serve.Client.rpc c P.{ rq_id = tag ^ "-cell"; rq_op = Run q } in
+        let r2 = Serve.Client.rpc c P.{ rq_id = tag ^ "-ping"; rq_op = Ping } in
+        Serve.Client.close c;
+        (r1, r2)
+      in
+      let results = Array.make 2 None in
+      let threads =
+        List.init 2 (fun i ->
+            Thread.create (fun () -> results.(i) <- Some (run_client (string_of_int i))) ())
+      in
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Some (Ok { P.rs_result = Ok (payload, _); _ }, Ok { P.rs_result = Ok (pong, _); _ })
+            ->
+            Alcotest.(check string) (Printf.sprintf "client %d payload" i) expect payload;
+            Alcotest.(check string) (Printf.sprintf "client %d pong" i) "pong" pong
+          | _ -> Alcotest.failf "client %d did not get clean responses" i)
+        results)
+
+let test_server_drain_no_partial_frames () =
+  (* pipeline several distinct computations, then a shutdown frame: the
+     daemon must answer every request before closing the socket, and
+     every byte received must form complete newline-terminated frames *)
+  with_server ~jobs:1 (fun sock srv ->
+      let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+      Unix.connect fd (ADDR_UNIX sock);
+      let send line = ignore (Unix.write_substring fd line 0 (String.length line)) in
+      let n_cells = 5 in
+      for i = 0 to n_cells - 1 do
+        send
+          (P.print_request
+             P.{
+                 rq_id = Printf.sprintf "q%d" i;
+                 rq_op = Run (cellq ~scale:(0.01 +. (0.005 *. float_of_int i)) ());
+               }
+          ^ "\n")
+      done;
+      send (P.print_request P.{ rq_id = "bye"; rq_op = Shutdown } ^ "\n");
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read fd chunk 0 4096 with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        | exception Unix.Unix_error (ECONNRESET, _, _) -> ()
+      in
+      drain ();
+      Unix.close fd;
+      let data = Buffer.contents buf in
+      Alcotest.(check bool) "stream ends on a frame boundary" true
+        (String.length data > 0 && data.[String.length data - 1] = '\n');
+      let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' data) in
+      Alcotest.(check int) "every request answered before EOF" (n_cells + 1) (List.length lines);
+      List.iteri
+        (fun i line ->
+          match P.parse_response line with
+          | Ok resp ->
+            let expect = if i < n_cells then Printf.sprintf "q%d" i else "bye" in
+            Alcotest.(check string) "responses in request order" expect resp.P.rs_id
+          | Error msg -> Alcotest.failf "partial or garbled frame %S: %s" line msg)
+        lines;
+      (* the shutdown frame stopped the daemon; run returns on its own *)
+      Alcotest.(check bool) "server stopping" true (Serve.Server.stopped srv))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_request_roundtrip;
+    QCheck_alcotest.to_alcotest prop_request_frame_single_line;
+    Alcotest.test_case "response round-trip" `Quick test_response_roundtrip;
+    Alcotest.test_case "malformed frames rejected" `Quick test_malformed_frames;
+    Alcotest.test_case "endpoint address parsing" `Quick test_addr_parsing;
+    Alcotest.test_case "jobq order and close" `Quick test_jobq_order_and_close;
+    Alcotest.test_case "jobq blocking consumer" `Quick test_jobq_blocking_consumer;
+    Alcotest.test_case "engine dedup, coalesce, response cache" `Quick test_engine_dedup_and_cache;
+    Alcotest.test_case "engine errors and inline ops" `Quick test_engine_errors_and_inline;
+    Alcotest.test_case "served figure = sequential oracle" `Slow test_engine_figure_oracle_identity;
+    Alcotest.test_case "unix-socket daemon, concurrent clients" `Quick
+      test_server_concurrent_clients;
+    Alcotest.test_case "mid-batch shutdown leaves no partial frame" `Quick
+      test_server_drain_no_partial_frames;
+  ]

@@ -1,4 +1,4 @@
-.PHONY: all build test check bench sampling-smoke parallel-smoke perf-smoke ledger-smoke serve-smoke serve-bench validate validate-smoke update-golden clean
+.PHONY: all build test check bench sampling-smoke parallel-smoke perf-smoke perf-trend ledger-smoke serve-smoke serve-bench validate validate-smoke update-golden clean
 
 # Worker domains for smoke runs (0 = auto); CI passes JOBS=2 so the
 # parallel path is exercised on every push.
@@ -48,6 +48,20 @@ parallel-smoke: build
 perf-smoke:
 	dune build --profile release bench/main.exe
 	dune exec --profile release bench/main.exe -- perf-identity
+
+# The CI perf-trend gate: remeasure the Seq baseline on THIS host first
+# (ratio bars compared against another machine's baseline would gate on
+# hardware, not code), then run the full replay gate — identity, memo
+# accuracy, trace >= 2x and memo fast path >= 10x the same-host Seq
+# baseline.  Writes BENCH_perf.json and a ledger run report whose
+# aggregate_mips is the fast-path number `history check` trends.
+# Note: this overwrites results/perf-baseline.json in the working tree;
+# don't commit the remeasured copy unless refreshing the baseline is
+# the point of the change.
+perf-trend:
+	dune build --profile release bench/main.exe
+	dune exec --profile release bench/main.exe -- perf-baseline
+	dune exec --profile release bench/main.exe -- perf
 
 # CI smoke for the run ledger: a pooled fig1 run must emit a run report
 # and a span-bearing Perfetto trace, two recorded runs must pass the

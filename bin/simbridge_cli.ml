@@ -109,7 +109,7 @@ let run_experiment verbose seed jobs trace_capacity report_path trace_path id =
       ]
     ~reg ~wall_s ~report_path ~trace_path ()
 
-let csv_figure jobs trace_capacity report_path id scale =
+let csv_figure jobs trace_capacity report_path engine id scale =
   setup_jobs jobs;
   let reg =
     if report_path <> "" then Telemetry.Registry.create ~trace_capacity ()
@@ -119,7 +119,7 @@ let csv_figure jobs trace_capacity report_path id scale =
   let t0 = Unix.gettimeofday () in
   let fig =
     Telemetry.Span.root ~name:("csv:" ^ id) reg (fun () ->
-        Simbridge.Experiments.figure_by_id ~scale ~telemetry:reg id)
+        Simbridge.Experiments.figure_by_id ~scale ~telemetry:reg ~engine id)
   in
   Ledger.Progress.uninstall ();
   let wall_s = Unix.gettimeofday () -. t0 in
@@ -132,6 +132,7 @@ let csv_figure jobs trace_capacity report_path id scale =
           ("figure", Validate.Jsonx.Str id);
           ("scale", Validate.Jsonx.Num scale);
           ("jobs", num_j jobs);
+          ("memoize", Validate.Jsonx.Bool (engine = `Memo));
           ("trace_capacity", num_j trace_capacity);
         ]
       ~reg ~wall_s ~report_path ~trace_path:"" ()
@@ -178,7 +179,7 @@ let smoke_check ~tolerance ~reference (est : Sampling.Estimate.t) =
   end
 
 let run_workload verbose name platform ranks scale telemetry_dir seed jobs trace_capacity
-    report_path sample budget expect_cycles tolerance =
+    report_path sample budget engine expect_cycles tolerance =
   setup_logs verbose;
   Util.Rng.set_global_seed seed;
   setup_jobs jobs;
@@ -192,6 +193,11 @@ let run_workload verbose name platform ranks scale telemetry_dir seed jobs trace
         Format.eprintf "bad --sample spec %S: %s@." spec e;
         exit 1)
   in
+  if engine = `Memo && (policy <> Sampling.Policy.Full || budget <> None) then begin
+    Format.eprintf
+      "--memoize is a full-stream fast path; combine it with neither --sample nor --budget@.";
+    exit 1
+  end;
   let config =
     try Platform.Catalog.find platform
     with Not_found ->
@@ -216,11 +222,26 @@ let run_workload verbose name platform ranks scale telemetry_dir seed jobs trace
   Telemetry.Span.root ~name:("workload:" ^ name) reg (fun () ->
       match kernel with
       | Some k ->
-        let t = Simbridge.Runner.run_kernel_timed ~scale ~telemetry:reg ~policy ?budget config k in
+        if engine = `Memo then Simbridge.Runner.memo_stats_clear ();
+        let t =
+          Simbridge.Runner.run_kernel_timed ~scale ~telemetry:reg ~policy ?budget ~engine config k
+        in
         estimate := Some t.Simbridge.Runner.estimate;
         print_result t.Simbridge.Runner.result;
         Format.printf "host wall     : setup %.4f s + measure %.4f s@." t.Simbridge.Runner.setup_wall_s
           t.Simbridge.Runner.measure_wall_s;
+        if engine = `Memo then begin
+          let m = Simbridge.Runner.memo_stats () in
+          let total = m.Simbridge.Runner.m_ff_insns + m.Simbridge.Runner.m_measured_insns in
+          let ff_pct =
+            if total = 0 then 0.0
+            else 100.0 *. float_of_int m.Simbridge.Runner.m_ff_insns /. float_of_int total
+          in
+          Format.printf "memoized      : %d block instances, %d memo hits, %.1f%% insns \
+                         fast-forwarded, bound +/-%.0f cycles@."
+            m.Simbridge.Runner.m_instances m.Simbridge.Runner.m_hits ff_pct
+            t.Simbridge.Runner.estimate.Sampling.Estimate.ci95_cycles
+        end;
         (match policy with
         | Sampling.Policy.Full -> ()
         | Sampling.Policy.Sampled _ ->
@@ -234,6 +255,10 @@ let run_workload verbose name platform ranks scale telemetry_dir seed jobs trace
           Format.eprintf "--sample/--expect-cycles apply to microbench kernels only@.";
           exit 1
         | Sampling.Policy.Full, None -> ());
+        if engine = `Memo then begin
+          Format.eprintf "--memoize applies to microbench kernels only@.";
+          exit 1
+        end;
         let apps =
           Workloads.Npb.all @ [ Workloads.Ume.app; Workloads.Lammps.lj; Workloads.Lammps.chain ]
         in
@@ -266,6 +291,7 @@ let run_workload verbose name platform ranks scale telemetry_dir seed jobs trace
         ("jobs", num_j jobs);
         ( "sample",
           match sample with None -> Validate.Jsonx.Null | Some s -> Validate.Jsonx.Str s );
+        ("memoize", Validate.Jsonx.Bool (engine = `Memo));
         ("trace_capacity", num_j trace_capacity);
       ]
     ~reg ~wall_s ~report_path ~trace_path:"" ()
@@ -559,7 +585,7 @@ let parse_addr flag s =
    in-flight requests, refuse new ones, then flush the ledger — the
    final run report covers every request served. *)
 let run_serve verbose seed jobs trace_capacity report_path trace_path history_path listen
-    response_cache trace_cache_mib max_batch =
+    response_cache trace_cache_mib max_batch engine =
   setup_logs verbose;
   Util.Rng.set_global_seed seed;
   setup_jobs jobs;
@@ -573,8 +599,8 @@ let run_serve verbose seed jobs trace_capacity report_path trace_path history_pa
   let t0 = Unix.gettimeofday () in
   let srv =
     try
-      Serve.Server.create ~jobs ~response_cache_capacity:response_cache ~max_batch ~telemetry:reg
-        addr
+      Serve.Server.create ~jobs ~engine ~response_cache_capacity:response_cache ~max_batch
+        ~telemetry:reg addr
     with Unix.Unix_error (e, _, _) ->
       Format.eprintf "cannot listen on %s: %s@."
         (Serve.Protocol.addr_to_string addr)
@@ -584,9 +610,10 @@ let run_serve verbose seed jobs trace_capacity report_path trace_path history_pa
   let on_signal _ = Serve.Server.stop srv in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
   Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
-  Format.eprintf "serving on %s (jobs=%d, response cache=%d, batch<=%d); SIGTERM drains@."
+  Format.eprintf "serving on %s (jobs=%d, response cache=%d, batch<=%d%s); SIGTERM drains@."
     (Serve.Protocol.addr_to_string addr)
-    jobs response_cache max_batch;
+    jobs response_cache max_batch
+    (if engine = `Memo then ", memoize" else "");
   (* The root span wraps the whole service lifetime; the registry is
      written by the main thread only here (before the dispatcher starts)
      and after [run] returns (all service threads joined). *)
@@ -607,6 +634,7 @@ let run_serve verbose seed jobs trace_capacity report_path trace_path history_pa
             ("trace_capacity", num_j trace_capacity);
             ("response_cache", num_j response_cache);
             ("max_batch", num_j max_batch);
+            ("memoize", Validate.Jsonx.Bool (engine = `Memo));
           ]
         ~extra:[ ("serve", Serve.Engine.stats_json (Serve.Server.engine srv)) ]
         ~telemetry:reg ()
@@ -739,6 +767,20 @@ let report_arg =
         ~doc:"Write the machine-readable run report to $(docv) (empty to skip)."
         ~docv:"FILE")
 
+let memoize_arg =
+  let engine_conv = Arg.enum [ ("on", (`Memo : Simbridge.Runner.engine)); ("off", `Trace) ] in
+  Arg.(
+    value
+    & opt ~vopt:(`Memo : Simbridge.Runner.engine) engine_conv `Trace
+    & info [ "memoize" ]
+        ~doc:
+          "Block-memoized fast path: $(b,--memoize) (or $(b,--memoize=on)) replays repeated basic \
+           blocks from a per-run cost table, fast-forwarding the pipeline and carrying an \
+           explicit cycle error bound. $(b,--memoize=off) (the default) keeps the bit-exact \
+           full-fidelity replay engine. Microbench kernels and figures only; incompatible with \
+           --sample/--budget."
+        ~docv:"on|off")
+
 let platforms_cmd =
   Cmd.v (Cmd.info "platforms" ~doc:"List the platform catalog")
     Term.(const list_platforms $ const ())
@@ -766,7 +808,8 @@ let run_cmd =
 let csv_cmd =
   let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE") in
   Cmd.v (Cmd.info "csv" ~doc:"Emit a figure's data as CSV")
-    Term.(const csv_figure $ jobs_arg $ trace_capacity_arg $ report_arg $ id $ scale_arg)
+    Term.(
+      const csv_figure $ jobs_arg $ trace_capacity_arg $ report_arg $ memoize_arg $ id $ scale_arg)
 
 let telemetry_arg =
   Arg.(
@@ -822,8 +865,8 @@ let workload_cmd =
   Cmd.v (Cmd.info "workload" ~doc:"Run one workload on one platform")
     Term.(
       const run_workload $ verbose_arg $ wname $ platform $ ranks $ scale_arg $ telemetry_arg
-      $ seed_arg $ jobs_arg $ trace_capacity_arg $ report_arg $ sample $ budget $ expect_cycles
-      $ tolerance)
+      $ seed_arg $ jobs_arg $ trace_capacity_arg $ report_arg $ sample $ budget $ memoize_arg
+      $ expect_cycles $ tolerance)
 
 let tune_cmd =
   let target = Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET") in
@@ -1022,7 +1065,8 @@ let serve_cmd =
           requests, refuses new ones, and flushes the run report before exiting 0.")
     Term.(
       const run_serve $ verbose_arg $ seed_arg $ jobs_arg $ trace_capacity_arg $ report_arg
-      $ trace $ history $ listen_arg $ response_cache $ trace_cache_mib $ max_batch)
+      $ trace $ history $ listen_arg $ response_cache $ trace_cache_mib $ max_batch
+      $ memoize_arg)
 
 let query_cmd =
   let connect =

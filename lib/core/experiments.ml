@@ -528,10 +528,10 @@ let fig7 ?(scale = 1.0) ?jobs ?telemetry () =
    one-shot CLI has always done). *)
 let figure_ids = [ "fig1"; "fig2"; "fig3a"; "fig3b"; "fig4a"; "fig4b"; "fig5"; "fig6"; "fig7" ]
 
-let figure_by_id ?scale ?jobs ?telemetry id =
+let figure_by_id ?scale ?jobs ?telemetry ?engine id =
   match id with
-  | "fig1" -> Some (fig1 ?scale ?jobs ?telemetry ())
-  | "fig2" -> Some (fig2 ?scale ?jobs ?telemetry ())
+  | "fig1" -> Some (fig1 ?scale ?jobs ?engine ?telemetry ())
+  | "fig2" -> Some (fig2 ?scale ?jobs ?engine ?telemetry ())
   | "fig3a" -> Some (List.nth (fig3 ?scale ?jobs ?telemetry ()) 0)
   | "fig3b" -> Some (List.nth (fig3 ?scale ?jobs ?telemetry ()) 1)
   | "fig4a" -> Some (List.nth (fig4 ?scale ?jobs ?telemetry ()) 0)

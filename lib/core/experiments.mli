@@ -131,11 +131,19 @@ val figure_ids : string list
     golden CSVs, and the serve protocol. *)
 
 val figure_by_id :
-  ?scale:float -> ?jobs:int -> ?telemetry:Telemetry.Registry.t -> string -> figure option
+  ?scale:float ->
+  ?jobs:int ->
+  ?telemetry:Telemetry.Registry.t ->
+  ?engine:Runner.engine ->
+  string ->
+  figure option
 (** Compute one panel by id ([None] for an unknown id).  [fig3a]
     etc. compute the parent two-panel figure and return the requested
     panel, exactly as the one-shot CLI does — so a served payload built
-    from this function is byte-identical to [simbridge csv ID]. *)
+    from this function is byte-identical to [simbridge csv ID].
+    [engine] reaches the microbench panels (fig1/fig2); the app figures
+    (fig3–fig7) drive MPI ranks through the streaming path and ignore
+    it. *)
 
 val app_runtime_table :
   ?scale:float -> ?jobs:int -> ?telemetry:Telemetry.Registry.t -> Workloads.Workload.app -> string

@@ -138,7 +138,7 @@ let fidelity_json ~strict (r : Validate.Fidelity.report) =
     ]
 
 let build ?run_id:(id = run_id ()) ?(wall_s = 0.0) ?estimate ?fidelity ?(exit_status = 0)
-    ?(extra = []) ~command ~config ~telemetry () =
+    ?(extra = []) ?(metrics = []) ~command ~config ~telemetry () =
   (* Make the process-wide trace-cache counters part of the snapshot
      before reading it (satellite: trace.cache.* as real counters). *)
   Simbridge.Runner.publish_trace_cache_stats telemetry;
@@ -163,8 +163,8 @@ let build ?run_id:(id = run_id ()) ?(wall_s = 0.0) ?estimate ?fidelity ?(exit_st
           else J.Null );
       ]
   in
-  let metrics =
-    J.Obj
+  let metrics_obj =
+    let base =
       [
         ( "instructions",
           match Registry.find_counter telemetry "core.instructions" with
@@ -174,6 +174,8 @@ let build ?run_id:(id = run_id ()) ?(wall_s = 0.0) ?estimate ?fidelity ?(exit_st
         ("wall_s", J.Num wall_s);
         ("aggregate_mips", match aggregate_mips telemetry with Some m -> J.Num m | None -> J.Null);
       ]
+    in
+    J.Obj (List.filter (fun (k, _) -> not (List.mem_assoc k metrics)) base @ metrics)
   in
   let phases =
     J.Arr
@@ -198,7 +200,7 @@ let build ?run_id:(id = run_id ()) ?(wall_s = 0.0) ?estimate ?fidelity ?(exit_st
       ("host", Host.to_json host);
       ("config", J.Obj config);
       ("exit_status", num_i exit_status);
-      ("metrics", metrics);
+      ("metrics", metrics_obj);
       ("phases", phases);
       ("counters", J.Obj (List.map (fun (n, v) -> (n, num_i v)) counters));
       ("cache", cache_json);

@@ -30,6 +30,7 @@ val build :
   ?fidelity:Validate.Fidelity.report * bool ->
   ?exit_status:int ->
   ?extra:(string * Validate.Jsonx.t) list ->
+  ?metrics:(string * Validate.Jsonx.t) list ->
   command:string ->
   config:(string * Validate.Jsonx.t) list ->
   telemetry:Telemetry.Registry.t ->
@@ -38,7 +39,10 @@ val build :
 (** Assemble a report from a (merged) registry.  [wall_s] is the
     invocation's total wall time; [fidelity] is the validate report
     paired with its strictness; [extra] appends caller-specific
-    top-level sections (the bench gates put their own metrics there).
+    top-level sections (the bench gates put their own metrics there);
+    [metrics] overrides/extends the report's [metrics] object — benches
+    without a telemetry registry use it to record the
+    ["aggregate_mips"] that {!History} trends and gates on.
     Calls {!Simbridge.Runner.publish_trace_cache_stats} on [telemetry]
     first, so cache counters are part of the snapshot.  Works on
     {!Telemetry.Registry.disabled} too (metrics degrade to [null]). *)

@@ -360,6 +360,11 @@ let warm_trace soc tr ~lo ~hi =
   | In c -> Uarch.Inorder.warm_trace c tr ~lo ~hi
   | Oo c -> Uarch.Ooo.warm_trace c tr ~lo ~hi
 
+let fast_forward soc ~cycles ~insns ~loads ~stores =
+  match soc.cores.(0) with
+  | In c -> Uarch.Inorder.fast_forward c ~cycles ~insns ~loads ~stores
+  | Oo c -> Uarch.Ooo.fast_forward c ~cycles ~insns ~loads ~stores
+
 let run_trace soc tr =
   feed_trace soc tr ~lo:0 ~hi:(Trace.length tr);
   collect soc ~ranks:1 ~comm:None

@@ -72,6 +72,10 @@ val feed_trace : t -> Trace.t -> lo:int -> hi:int -> unit
 val warm_trace : t -> Trace.t -> lo:int -> hi:int -> unit
 (** Functionally warm core 0 with trace indices [lo, hi). *)
 
+val fast_forward : t -> cycles:int -> insns:int -> loads:int -> stores:int -> unit
+(** Memoized-replay fast-forward on core 0 — see
+    {!Uarch.Inorder.fast_forward} for the contract. *)
+
 val memsys_of_core : t -> int -> Uarch.Memsys.t
 (** Expose a core's memory-system interface (for tests and calibration). *)
 

@@ -175,3 +175,168 @@ let to_seq t =
 
 (* Rough resident size: three 8-byte words per instruction plus headers. *)
 let words t = (3 * t.len) + 16
+
+type trace = t
+
+module Blocks = struct
+  type t = {
+    n_blocks : int;
+    n_instances : int;
+    ids : int array;
+    starts : int array;
+    lens : int array;
+    loads : int array;
+    stores : int array;
+    occurs : int array;
+    digests : int array;
+  }
+
+  let default_max_len = 256
+
+  (* FNV-style mixing kept within OCaml's 63-bit int range.  The digest is
+     a sharing key for cross-run memo tables; within one analysis the
+     block table verifies content and never trusts the digest alone. *)
+  let mix h v =
+    let h = (h lxor v) * 0x100000001b3 in
+    h lxor (h lsr 29)
+
+  let analyze ?(max_len = default_max_len) (tr : trace) =
+    if max_len < 1 then invalid_arg "Trace.Blocks.analyze: max_len must be >= 1";
+    let n = tr.len in
+    let pcs = tr.pcs and metas = tr.metas and auxs = tr.auxs in
+    (* Pass 1: every pc that is ever a taken control-flow target is a
+       leader everywhere, so one static block is segmented identically on
+       every dynamic path that reaches it — a prerequisite for instances
+       of the same block to share one cost entry. *)
+    let targets : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
+    for i = 0 to n - 1 do
+      let m = Array.unsafe_get metas i in
+      if
+        m land taken_bit <> 0
+        && Isa.Insn.is_ctrl (Array.unsafe_get kind_of_code (m land kind_mask))
+      then Hashtbl.replace targets (Array.unsafe_get auxs i) ()
+    done;
+    (* Pass 2: segment at leaders (taken targets, post-control fall-
+       throughs, the max_len cap) and intern each segment into the block
+       table.  Digest collisions fall back to content comparison against
+       the block's canonical instance, so block identity is exact. *)
+    let bcap = ref 64 in
+    let b_start = ref (Array.make !bcap 0) in
+    let b_len = ref (Array.make !bcap 0) in
+    let b_loads = ref (Array.make !bcap 0) in
+    let b_stores = ref (Array.make !bcap 0) in
+    let b_occ = ref (Array.make !bcap 0) in
+    let b_dig = ref (Array.make !bcap 0) in
+    let n_blocks = ref 0 in
+    let grow_blocks () =
+      let cap' = !bcap * 2 in
+      let g a = let a' = Array.make cap' 0 in Array.blit !a 0 a' 0 !n_blocks; a := a' in
+      g b_start; g b_len; g b_loads; g b_stores; g b_occ; g b_dig;
+      bcap := cap'
+    in
+    let icap = ref 1024 in
+    let i_id = ref (Array.make !icap 0) in
+    let i_start = ref (Array.make !icap 0) in
+    let n_inst = ref 0 in
+    let grow_insts () =
+      let cap' = !icap * 2 in
+      let g a = let a' = Array.make cap' 0 in Array.blit !a 0 a' 0 !n_inst; a := a' in
+      g i_id; g i_start;
+      icap := cap'
+    in
+    let table : (int, int list) Hashtbl.t = Hashtbl.create 1024 in
+    let same_content id start len =
+      Array.unsafe_get !b_len id = len
+      &&
+      let s0 = Array.unsafe_get !b_start id in
+      let ok = ref true in
+      let j = ref 0 in
+      while !ok && !j < len do
+        let a = s0 + !j and b = start + !j in
+        let ma = Array.unsafe_get metas a in
+        if Array.unsafe_get pcs a <> Array.unsafe_get pcs b || ma <> Array.unsafe_get metas b
+        then ok := false
+        else if
+          Isa.Insn.is_ctrl (Array.unsafe_get kind_of_code (ma land kind_mask))
+          && Array.unsafe_get auxs a <> Array.unsafe_get auxs b
+        then ok := false;
+        incr j
+      done;
+      !ok
+    in
+    let i = ref 0 in
+    while !i < n do
+      let start = !i in
+      let h = ref 0x3ade68b1 in
+      let loads = ref 0 and stores = ref 0 in
+      let stop = ref false in
+      while not !stop do
+        let j = !i in
+        let m = Array.unsafe_get metas j in
+        let kind = Array.unsafe_get kind_of_code (m land kind_mask) in
+        (match kind with
+        | Isa.Insn.Load | Isa.Insn.Amo -> incr loads
+        | Isa.Insn.Store -> incr stores
+        | _ -> ());
+        let is_ctrl = Isa.Insn.is_ctrl kind in
+        (* Memory addresses vary per iteration and are excluded from the
+           digest; control targets are part of block identity. *)
+        h := mix !h (Array.unsafe_get pcs j);
+        h := mix !h m;
+        if is_ctrl then h := mix !h (Array.unsafe_get auxs j);
+        incr i;
+        if
+          !i >= n || !i - start >= max_len || is_ctrl
+          || Hashtbl.mem targets (Array.unsafe_get pcs !i)
+        then stop := true
+      done;
+      let len = !i - start in
+      let digest = mix (mix !h (Array.unsafe_get pcs start)) len in
+      let id =
+        let candidates = try Hashtbl.find table digest with Not_found -> [] in
+        match List.find_opt (fun id -> same_content id start len) candidates with
+        | Some id -> id
+        | None ->
+          if !n_blocks = !bcap then grow_blocks ();
+          let id = !n_blocks in
+          !b_start.(id) <- start;
+          !b_len.(id) <- len;
+          !b_loads.(id) <- !loads;
+          !b_stores.(id) <- !stores;
+          !b_occ.(id) <- 0;
+          !b_dig.(id) <- digest;
+          n_blocks := id + 1;
+          Hashtbl.replace table digest (id :: candidates);
+          id
+      in
+      !b_occ.(id) <- !b_occ.(id) + 1;
+      if !n_inst = !icap then grow_insts ();
+      !i_id.(!n_inst) <- id;
+      !i_start.(!n_inst) <- start;
+      incr n_inst
+    done;
+    let shrink a len = if Array.length !a = len then !a else Array.sub !a 0 len in
+    {
+      n_blocks = !n_blocks;
+      n_instances = !n_inst;
+      ids = shrink i_id !n_inst;
+      starts = shrink i_start !n_inst;
+      lens = shrink b_len !n_blocks;
+      loads = shrink b_loads !n_blocks;
+      stores = shrink b_stores !n_blocks;
+      occurs = shrink b_occ !n_blocks;
+      digests = shrink b_dig !n_blocks;
+    }
+
+  let words b = (2 * b.n_instances) + (5 * b.n_blocks) + 16
+
+  let repeat_fraction b total_insns =
+    if total_insns <= 0 then 0.0
+    else begin
+      let repeated = ref 0 in
+      for id = 0 to b.n_blocks - 1 do
+        if b.occurs.(id) > 1 then repeated := !repeated + (b.occurs.(id) * b.lens.(id))
+      done;
+      float_of_int !repeated /. float_of_int total_insns
+    end
+end

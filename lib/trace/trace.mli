@@ -95,3 +95,43 @@ val to_seq : t -> Isa.Insn.t Seq.t
 
 val words : t -> int
 (** Approximate resident host size in words, for cache budgeting. *)
+
+(** {2 Basic-block structure}
+
+    Memoized replay needs to know where a trace repeats itself.  [Blocks]
+    segments a compiled trace into dynamic basic-block instances and
+    interns them into a block table: instances with identical instruction
+    content (pc, packed metadata, and — for control kinds — branch
+    target; memory addresses excluded, since they vary per iteration)
+    share one block id.  Leaders are the trace start, every instruction
+    after a control instruction, every pc that is ever a taken control
+    target, and a length cap. *)
+module Blocks : sig
+  type trace := t
+
+  type t = {
+    n_blocks : int;  (** distinct blocks in the table *)
+    n_instances : int;  (** dynamic block instances; they partition the trace *)
+    ids : int array;  (** instance -> block id, [n_instances] long *)
+    starts : int array;  (** instance -> first trace index, ascending *)
+    lens : int array;  (** block -> instruction count, [n_blocks] long *)
+    loads : int array;  (** block -> loads (incl. AMOs) per instance *)
+    stores : int array;  (** block -> stores per instance *)
+    occurs : int array;  (** block -> number of instances *)
+    digests : int array;  (** block -> content digest (cross-run sharing key) *)
+  }
+
+  val default_max_len : int
+
+  val analyze : ?max_len:int -> trace -> t
+  (** Two passes over the packed arrays; block identity is exact (digest
+      collisions fall back to content comparison).  Raises
+      [Invalid_argument] if [max_len < 1]. *)
+
+  val words : t -> int
+  (** Approximate resident host size in words, for cache budgeting. *)
+
+  val repeat_fraction : t -> int -> float
+  (** Fraction of [total_insns] covered by blocks that occur more than
+      once — an upper bound on what memoization can fast-forward. *)
+end

@@ -1,0 +1,245 @@
+(* Basic-block cost memoization for trace replay.
+
+   Interval-simulation-style fast path: simulate each repeated basic
+   block in detail a few times per (uarch-config fingerprint,
+   cache-state-class), record its marginal cycle cost, and replay further
+   repeats by fast-forwarding the core's cycle/statistics state.  The
+   accuracy contract is an explicit error bound built from the observed
+   per-block cost spread, returned with the run so callers (the sampling
+   estimate layer) can report a confidence interval instead of
+   pretending the fast path is exact.
+
+   Measurement discipline.  A block's marginal cost is only meaningful in
+   steady state: right after a fast-forward jump the pipeline restarts
+   from a barrier, so the first detailed instance is warm-up and its
+   frontier delta is biased high (it pays the pipeline fill and lost
+   inter-block overlap).  We therefore run detailed instances in
+   contiguous windows and record a delta for (block, class) only when the
+   *previous* instance was also detailed — post-barrier samples train the
+   caches and predictor but never the cost table.
+
+   Cache-state classes.  A block's cost depends on how warm the caches
+   are.  We bucket by per-block occurrence count (cold / warming /
+   steady): class transitions force re-measurement, and steady blocks are
+   periodically re-measured (every [refresh_every] occurrences) so the
+   table tracks cache-state drift over a long run. *)
+
+type core = {
+  feed_range : lo:int -> hi:int -> unit;  (* detailed simulation of [lo, hi) *)
+  fast_forward : cycles:int -> insns:int -> loads:int -> stores:int -> unit;
+  now : unit -> int;  (* completion frontier, cycles *)
+}
+
+type config = {
+  need : int;  (* steady samples required per (block, class) before fast-forwarding *)
+  refresh_every : int;  (* re-measure a steady block every this many occurrences *)
+  margin : float;  (* per-fast-forward relative error allowance *)
+  floor_rel : float;  (* whole-run relative error floor *)
+  floor_abs : int;  (* whole-run absolute error floor, cycles *)
+}
+
+(* margin 0.10 is ~16x the worst cross-kernel error observed on the perf
+   mix (0.62%); the spread term then covers genuinely noisy blocks. *)
+let default = { need = 4; refresh_every = 512; margin = 0.10; floor_rel = 0.05; floor_abs = 2048 }
+
+let num_classes = 3
+
+(* Warmth bucket from how many times this block has already run. *)
+let class_of occ = if occ < 8 then 0 else if occ < 64 then 1 else 2
+
+type stats = {
+  blocks : int;  (* distinct blocks in the analyzed trace *)
+  instances : int;  (* dynamic block instances replayed *)
+  memo_hits : int;  (* instances replayed by fast-forward *)
+  ff_insns : int;  (* instructions fast-forwarded *)
+  measured_insns : int;  (* instructions simulated in detail *)
+  measured_cycles : int;  (* frontier advance across detailed instances *)
+  est_cycles : int;  (* total frontier advance of the run *)
+  err_bound_cycles : float;  (* declared bound on |est - full-fidelity| *)
+}
+
+(* Per-(block, class) cost cells, flat over block_id * num_classes + class. *)
+let cell_n = 0
+and cell_sum = 1
+and cell_min = 2
+and cell_max = 3
+
+let cell_words = 4
+
+module Table = struct
+  (* Process-lifetime cost table shared across runs (the serve daemon's
+     analogue of the trace cache).  Keyed by (uarch-config fingerprint,
+     block content digest, cache-state class); values are the same
+     [n; sum; min; max] cells the per-run arrays hold.  Sharing trades
+     strict run-to-run determinism for convergence: a long-lived daemon
+     re-measures each hot block once per config, not once per request. *)
+  type t = {
+    mutex : Mutex.t;
+    cells : (int * int * int, int array) Hashtbl.t;
+    max_entries : int;
+    mutable seeded : int;  (* cells preloaded into runs *)
+    mutable merged : int;  (* cells folded back from runs *)
+  }
+
+  let create ?(max_entries = 1 lsl 20) () =
+    { mutex = Mutex.create (); cells = Hashtbl.create 4096; max_entries; seeded = 0; merged = 0 }
+
+  let entries t = Mutex.protect t.mutex (fun () -> Hashtbl.length t.cells)
+
+  let stats t = Mutex.protect t.mutex (fun () -> (Hashtbl.length t.cells, t.seeded, t.merged))
+
+  (* Preload a run's flat stat arrays from shared history. *)
+  let seed t ~fingerprint (b : Trace.Blocks.t) stats_arr =
+    Mutex.protect t.mutex (fun () ->
+        for blk = 0 to b.Trace.Blocks.n_blocks - 1 do
+          let d = b.Trace.Blocks.digests.(blk) in
+          for cls = 0 to num_classes - 1 do
+            match Hashtbl.find_opt t.cells (fingerprint, d, cls) with
+            | Some src ->
+              Array.blit src 0 stats_arr (((blk * num_classes) + cls) * cell_words) cell_words;
+              t.seeded <- t.seeded + 1
+            | None -> ()
+          done
+        done)
+
+  (* Fold a finished run's deltas back: [before] is the post-seed
+     snapshot, [after] the final state.  min/max merge monotonically. *)
+  let merge t ~fingerprint (b : Trace.Blocks.t) ~before ~after =
+    Mutex.protect t.mutex (fun () ->
+        for blk = 0 to b.Trace.Blocks.n_blocks - 1 do
+          let d = b.Trace.Blocks.digests.(blk) in
+          for cls = 0 to num_classes - 1 do
+            let base = ((blk * num_classes) + cls) * cell_words in
+            let dn = after.(base + cell_n) - before.(base + cell_n) in
+            if dn > 0 then begin
+              let key = (fingerprint, d, cls) in
+              match Hashtbl.find_opt t.cells key with
+              | Some dst ->
+                dst.(cell_n) <- dst.(cell_n) + dn;
+                dst.(cell_sum) <- dst.(cell_sum) + (after.(base + cell_sum) - before.(base + cell_sum));
+                if after.(base + cell_min) < dst.(cell_min) then dst.(cell_min) <- after.(base + cell_min);
+                if after.(base + cell_max) > dst.(cell_max) then dst.(cell_max) <- after.(base + cell_max);
+                t.merged <- t.merged + 1
+              | None ->
+                if Hashtbl.length t.cells < t.max_entries then begin
+                  Hashtbl.replace t.cells key
+                    [|
+                      dn;
+                      after.(base + cell_sum) - before.(base + cell_sum);
+                      after.(base + cell_min);
+                      after.(base + cell_max);
+                    |];
+                  t.merged <- t.merged + 1
+                end
+            end
+          done
+        done)
+end
+
+let run ?(cfg = default) ?table ?(fingerprint = 0) (core : core) (b : Trace.Blocks.t) =
+  if cfg.need < 1 then invalid_arg "Memo.run: need must be >= 1";
+  if cfg.refresh_every < 1 then invalid_arg "Memo.run: refresh_every must be >= 1";
+  let nb = b.Trace.Blocks.n_blocks in
+  let nc = num_classes in
+  let st = Array.make (nb * nc * cell_words) 0 in
+  (* min cells start at max_int so the first sample always wins *)
+  for c = 0 to (nb * nc) - 1 do
+    st.((c * cell_words) + cell_min) <- max_int
+  done;
+  (match table with
+  | Some tbl -> Table.seed tbl ~fingerprint b st
+  | None -> ());
+  let seeded = match table with Some _ -> Array.copy st | None -> [||] in
+  let seen = Array.make nb 0 in
+  let last_measured = Array.make nb (-1) in
+  let ids = b.Trace.Blocks.ids
+  and starts = b.Trace.Blocks.starts
+  and lens = b.Trace.Blocks.lens
+  and loadsv = b.Trace.Blocks.loads
+  and storesv = b.Trace.Blocks.stores in
+  let c_start = core.now () in
+  let carry = ref 0.0 in
+  let detail_run = ref 0 in
+  (* The run starts at a frontier barrier, so the very first instance is
+     warm-up whatever happens; prev_detailed starts false. *)
+  let prev_detailed = ref false in
+  let memo_hits = ref 0 and ff_insns = ref 0 in
+  let measured_insns = ref 0 and measured_cycles = ref 0 in
+  let err = ref 0.0 in
+  for inst = 0 to b.Trace.Blocks.n_instances - 1 do
+    let blk = Array.unsafe_get ids inst in
+    let occ = Array.unsafe_get seen blk in
+    Array.unsafe_set seen blk (occ + 1);
+    let cls = class_of occ in
+    let base = ((blk * nc) + cls) * cell_words in
+    let n_samples = Array.unsafe_get st (base + cell_n) in
+    let len = Array.unsafe_get lens blk in
+    let due_refresh = cls = 2 && occ - Array.unsafe_get last_measured blk >= cfg.refresh_every in
+    if !detail_run = 0 && n_samples >= cfg.need && not due_refresh then begin
+      (* Fast path: replay the whole block as one cost jump.  The ideal
+         jump is the fractional mean cost; a carry accumulator keeps the
+         total rounding error of the whole run under one cycle. *)
+      let sum = Array.unsafe_get st (base + cell_sum) in
+      let meanf = float_of_int sum /. float_of_int n_samples in
+      let target = meanf +. !carry in
+      let cycles = int_of_float (Float.round target) in
+      let cycles = if cycles < 0 then 0 else cycles in
+      carry := target -. float_of_int cycles;
+      core.fast_forward ~cycles ~insns:len
+        ~loads:(Array.unsafe_get loadsv blk)
+        ~stores:(Array.unsafe_get storesv blk);
+      incr memo_hits;
+      ff_insns := !ff_insns + len;
+      let spread = Array.unsafe_get st (base + cell_max) - Array.unsafe_get st (base + cell_min) in
+      err := !err +. float_of_int spread +. (cfg.margin *. meanf);
+      prev_detailed := false
+    end
+    else begin
+      (* Detailed path.  An under-sampled or refresh-due block opens a
+         detail window long enough to yield recordable (non-warm-up)
+         samples even right after a fast-forward barrier. *)
+      if n_samples < cfg.need || due_refresh then begin
+        let w = cfg.need + 1 in
+        if !detail_run < w then detail_run := w
+      end;
+      if !detail_run > 0 then decr detail_run;
+      let c0 = core.now () in
+      let lo = Array.unsafe_get starts inst in
+      core.feed_range ~lo ~hi:(lo + len);
+      let d = core.now () - c0 in
+      measured_insns := !measured_insns + len;
+      measured_cycles := !measured_cycles + d;
+      (* d = 0 means the frontier is catching up to an external barrier
+         (e.g. the post-setup drain point): completions are landing below
+         the frontier, so the delta is not this block's cost.  Such
+         samples never enter the table — the block stays detailed until
+         real marginal costs become observable. *)
+      if !prev_detailed && d > 0 then begin
+        (* Steady-state sample: no barrier separates this instance from
+           the previous one, so the frontier delta is the block's
+           marginal cost including inter-block overlap. *)
+        Array.unsafe_set st (base + cell_n) (n_samples + 1);
+        Array.unsafe_set st (base + cell_sum) (Array.unsafe_get st (base + cell_sum) + d);
+        if d < Array.unsafe_get st (base + cell_min) then Array.unsafe_set st (base + cell_min) d;
+        if d > Array.unsafe_get st (base + cell_max) then Array.unsafe_set st (base + cell_max) d;
+        Array.unsafe_set last_measured blk occ
+      end;
+      prev_detailed := true
+    end
+  done;
+  (match table with
+  | Some tbl -> Table.merge tbl ~fingerprint b ~before:seeded ~after:st
+  | None -> ());
+  let est_cycles = core.now () - c_start in
+  let floor = (cfg.floor_rel *. float_of_int est_cycles) +. float_of_int cfg.floor_abs in
+  let err_bound_cycles = if !err > floor then !err else floor in
+  {
+    blocks = nb;
+    instances = b.Trace.Blocks.n_instances;
+    memo_hits = !memo_hits;
+    ff_insns = !ff_insns;
+    measured_insns = !measured_insns;
+    measured_cycles = !measured_cycles;
+    est_cycles;
+    err_bound_cycles;
+  }

@@ -1,0 +1,81 @@
+(** Basic-block cost memoization for trace replay.
+
+    The interval-simulation trade: simulate each repeated basic block in
+    detail a few times per (uarch-config fingerprint, cache-state class),
+    record its marginal cycle cost, and replay further repeats by
+    fast-forwarding the core's cycle and retired-instruction state.  The
+    fast path is approximate by construction, so every run returns an
+    explicit error bound built from the observed per-block cost spread —
+    callers surface it as a confidence interval rather than pretending
+    the result is exact.
+
+    Cost samples are only recorded in steady state: detailed instances
+    run in contiguous windows, and a frontier delta counts toward the
+    cost table only when the previous instance was also detailed (the
+    first instance after a fast-forward barrier pays pipeline refill and
+    is discarded as warm-up).  Blocks are re-measured when their warmth
+    class changes and periodically thereafter, so the table tracks
+    cache-state drift over long runs. *)
+
+type core = {
+  feed_range : lo:int -> hi:int -> unit;
+      (** detailed simulation of trace indices [lo, hi) *)
+  fast_forward : cycles:int -> insns:int -> loads:int -> stores:int -> unit;
+  now : unit -> int;  (** completion frontier, cycles *)
+}
+
+type config = {
+  need : int;  (** steady samples per (block, class) before fast-forwarding *)
+  refresh_every : int;  (** re-measure a steady block every this many occurrences *)
+  margin : float;  (** per-fast-forward relative error allowance *)
+  floor_rel : float;  (** whole-run relative error floor *)
+  floor_abs : int;  (** whole-run absolute error floor, cycles *)
+}
+
+val default : config
+
+val num_classes : int
+(** Cache-state classes (cold / warming / steady), bucketed by per-block
+    occurrence count. *)
+
+type stats = {
+  blocks : int;  (** distinct blocks in the analyzed trace *)
+  instances : int;  (** dynamic block instances replayed *)
+  memo_hits : int;  (** instances replayed by fast-forward *)
+  ff_insns : int;  (** instructions fast-forwarded *)
+  measured_insns : int;  (** instructions simulated in detail *)
+  measured_cycles : int;  (** frontier advance across detailed instances *)
+  est_cycles : int;  (** total frontier advance of the run *)
+  err_bound_cycles : float;  (** declared bound on |est − full-fidelity| *)
+}
+
+(** Process-lifetime cost table shared across runs — the serve daemon's
+    analogue of the trace cache.  Keyed by (uarch-config fingerprint,
+    block content digest, cache-state class).  Sharing trades strict
+    run-to-run determinism for convergence: a long-lived daemon
+    re-measures each hot block once per config, not once per request.
+    Without a table every run measures from scratch and memoized replay
+    is a pure function of (trace, config). *)
+module Table : sig
+  type t
+
+  val create : ?max_entries:int -> unit -> t
+  val entries : t -> int
+
+  val stats : t -> int * int * int
+  (** (entries, cells seeded into runs, cells merged back). *)
+end
+
+val run :
+  ?cfg:config ->
+  ?table:Table.t ->
+  ?fingerprint:int ->
+  core ->
+  Trace.Blocks.t ->
+  stats
+(** Replay the analyzed trace through [core], fast-forwarding repeated
+    blocks whose cost is known.  With [table], the run seeds its cost
+    cells from shared history first and folds its own measurements back
+    when done; [fingerprint] must identify the uarch configuration the
+    costs were measured under.  Raises [Invalid_argument] if
+    [cfg.need < 1] or [cfg.refresh_every < 1]. *)

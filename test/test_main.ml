@@ -11,6 +11,7 @@ let () =
       ("interconnect", Test_interconnect.suite);
       ("uarch", Test_uarch.suite);
       ("trace", Test_trace.suite);
+      ("memo", Test_memo.suite);
       ("smpi", Test_smpi.suite);
       ("platform", Test_platform.suite);
       ("firesim", Test_firesim.suite);
